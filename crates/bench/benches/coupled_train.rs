@@ -1,0 +1,105 @@
+//! Criterion bench: full coupled-SVM training at the paper's round shape
+//! (N_l = 20 labeled, N' = 40 unlabeled) and the ρ-annealing cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lrf_core::{train_coupled, CoupledConfig, LogRbfKernel};
+use lrf_logdb::SparseVector;
+use lrf_svm::RbfKernel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+#[allow(clippy::type_complexity)]
+fn round_shape(
+    n_l: usize,
+    n_u: usize,
+    seed: u64,
+) -> (Vec<Vec<f64>>, Vec<SparseVector>, Vec<f64>, Vec<Vec<f64>>, Vec<SparseVector>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut mk_x = |y: f64| -> Vec<f64> {
+        (0..36).map(|_| y * 0.3 + rng.gen_range(-1.0..1.0)).collect()
+    };
+    let labeled_x: Vec<Vec<f64>> =
+        (0..n_l).map(|i| mk_x(if i % 2 == 0 { 1.0 } else { -1.0 })).collect();
+    let y: Vec<f64> = (0..n_l).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+    let unl_x: Vec<Vec<f64>> =
+        (0..n_u).map(|i| mk_x(if i % 2 == 0 { 1.0 } else { -1.0 })).collect();
+    let y_init: Vec<f64> = (0..n_u).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+
+    let mut rng2 = StdRng::seed_from_u64(seed ^ 0xff);
+    let mut mk_r = |y: f64| -> SparseVector {
+        let n = rng2.gen_range(1..4usize);
+        let mut entries: Vec<(u32, f64)> = Vec::new();
+        for _ in 0..n {
+            let idx = rng2.gen_range(0..150u32);
+            if !entries.iter().any(|&(i, _)| i == idx) {
+                entries.push((idx, y));
+            }
+        }
+        SparseVector::from_entries(entries)
+    };
+    let labeled_r: Vec<SparseVector> =
+        (0..n_l).map(|i| mk_r(if i % 2 == 0 { 1.0 } else { -1.0 })).collect();
+    let unl_r: Vec<SparseVector> =
+        (0..n_u).map(|i| mk_r(if i % 2 == 0 { 1.0 } else { -1.0 })).collect();
+
+    (labeled_x, labeled_r, y, unl_x, unl_r, y_init)
+}
+
+fn bench_coupled_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coupled_train");
+    group.sample_size(10);
+    for &n_u in &[10usize, 40, 80] {
+        let (lx, lr, y, ux, ur, yi) = round_shape(20, n_u, 5);
+        group.bench_with_input(BenchmarkId::new("pool", n_u), &n_u, |b, _| {
+            b.iter(|| {
+                let out = train_coupled(
+                    black_box(&lx),
+                    black_box(&lr),
+                    &y,
+                    &ux,
+                    &ur,
+                    &yi,
+                    RbfKernel::new(1.0 / 36.0),
+                    LogRbfKernel::new(0.5),
+                    &CoupledConfig::default(),
+                )
+                .unwrap();
+                black_box(out.report.retrains)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_annealing_schedules(c: &mut Criterion) {
+    let (lx, lr, y, ux, ur, yi) = round_shape(20, 40, 5);
+    let mut group = c.benchmark_group("coupled_train_rho_init");
+    group.sample_size(10);
+    for &(label, rho_init) in &[("1e-4_paper", 1e-4), ("1e-2", 1e-2), ("0.25", 0.25)] {
+        // Fixed final rho = 0.5 so the sweep isolates the schedule depth
+        // (rho_init must not exceed rho).
+        let cfg = CoupledConfig { rho_init, rho: 0.5, ..Default::default() };
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let out = train_coupled(
+                    black_box(&lx),
+                    &lr,
+                    &y,
+                    &ux,
+                    &ur,
+                    &yi,
+                    RbfKernel::new(1.0 / 36.0),
+                    LogRbfKernel::new(0.5),
+                    &cfg,
+                )
+                .unwrap();
+                black_box(out.report.rho_steps)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_coupled_training, bench_annealing_schedules);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench: the feature-extraction pipeline, per stage.
+//!
+//! Dataset build time is dominated by Canny + DWT; these benches break the
+//! 36-D extraction into its three stages at the experiment's image size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lrf_features::color_moments::color_moments;
+use lrf_features::edge_histogram::edge_direction_histogram;
+use lrf_features::texture::wavelet_texture;
+use lrf_features::FeatureExtractor;
+use lrf_imaging::canny::CannyParams;
+use lrf_imaging::SyntheticGenerator;
+use std::hint::black_box;
+
+fn bench_stages(c: &mut Criterion) {
+    let gen = SyntheticGenerator::new(4, 64, 64, 99);
+    let img = gen.generate(2, 5);
+    let gray = img.to_gray();
+
+    c.bench_function("features/color_moments_64", |b| {
+        b.iter(|| black_box(color_moments(black_box(&img))))
+    });
+    c.bench_function("features/edge_histogram_64", |b| {
+        b.iter(|| black_box(edge_direction_histogram(black_box(&gray), CannyParams::default())))
+    });
+    c.bench_function("features/wavelet_texture_64", |b| {
+        b.iter(|| black_box(wavelet_texture(black_box(&gray))))
+    });
+    let extractor = FeatureExtractor::default();
+    c.bench_function("features/full_pipeline_64", |b| {
+        b.iter(|| black_box(extractor.extract(black_box(&img))))
+    });
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let gen = SyntheticGenerator::new(20, 64, 64, 3);
+    c.bench_function("synthetic/generate_64", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % 100;
+            black_box(gen.generate(i % 20, i))
+        })
+    });
+}
+
+criterion_group!(benches, bench_stages, bench_generation);
+criterion_main!(benches);

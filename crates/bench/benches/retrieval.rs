@@ -1,0 +1,41 @@
+//! Criterion bench: end-to-end query latency per scheme — the figure a
+//! CBIR deployment cares about ("a relevance feedback algorithm requires
+//! to respond fast", §5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lrf_cbir::{collect_log, CorelDataset, CorelSpec, QueryProtocol};
+use lrf_core::{
+    EuclideanScheme, Lrf2Svms, LrfCsvm, LrfConfig, QueryContext, RelevanceFeedback, RfSvm,
+};
+use lrf_logdb::SimulationConfig;
+use std::hint::black_box;
+
+fn bench_schemes(c: &mut Criterion) {
+    // A mid-size database (10 × 50) keeps bench wall time reasonable while
+    // exercising the full scoring path.
+    let ds = CorelDataset::build(CorelSpec::tiny(10, 50, 77));
+    let log = collect_log(
+        &ds.db,
+        &SimulationConfig { n_sessions: 80, judged_per_session: 20, rounds_per_query: 3, noise: 0.1, seed: 3 },
+    );
+    let protocol = QueryProtocol { n_queries: 1, n_labeled: 20, seed: 1 };
+    let example = protocol.feedback_example(&ds.db, 123);
+    let ctx = QueryContext { db: &ds.db, log: &log, example: &example };
+
+    let config = LrfConfig::default();
+    let mut group = c.benchmark_group("retrieval_500img");
+    group.sample_size(20);
+    group.bench_function("euclidean", |b| {
+        b.iter(|| black_box(EuclideanScheme.rank(black_box(&ctx))))
+    });
+    let rf = RfSvm::new(config);
+    group.bench_function("rf_svm", |b| b.iter(|| black_box(rf.rank(black_box(&ctx)))));
+    let two = Lrf2Svms::new(config);
+    group.bench_function("lrf_2svms", |b| b.iter(|| black_box(two.rank(black_box(&ctx)))));
+    let csvm = LrfCsvm::new(config);
+    group.bench_function("lrf_csvm", |b| b.iter(|| black_box(csvm.rank(black_box(&ctx)))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_schemes);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion bench: SMO solver cost vs. problem size and bound structure.
+//!
+//! The paper defers "the computation cost problem when applying the
+//! algorithm to large scale applications" to future work; these benches
+//! quantify the inner QP cost that dominates a feedback round.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lrf_svm::{train, RbfKernel, SmoParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn gaussian_problem(n: usize, dims: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut samples = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let y = if i % 2 == 0 { 1.0 } else { -1.0 };
+        let center = y * 0.5;
+        samples.push((0..dims).map(|_| center + rng.gen_range(-1.0..1.0)).collect());
+        labels.push(y);
+    }
+    (samples, labels)
+}
+
+fn bench_smo_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("smo_train");
+    group.sample_size(30);
+    for &n in &[20usize, 60, 120, 240] {
+        let (samples, labels) = gaussian_problem(n, 36, 7);
+        let bounds = vec![10.0; n];
+        group.bench_with_input(BenchmarkId::new("uniform_c", n), &n, |b, _| {
+            b.iter(|| {
+                let svm = train(
+                    black_box(&samples),
+                    black_box(&labels),
+                    black_box(&bounds),
+                    RbfKernel::new(1.0 / 36.0),
+                    &SmoParams::default(),
+                )
+                .unwrap();
+                black_box(svm.stats.iterations)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_smo_mixed_bounds(c: &mut Criterion) {
+    // The coupled-SVM shape: 20 labeled at C plus 40 unlabeled at ρ*C.
+    let (samples, labels) = gaussian_problem(60, 36, 11);
+    let mut bounds = vec![10.0; 20];
+    bounds.extend(vec![0.005; 40]);
+    c.bench_function("smo_train/coupled_shape_20l_40u", |b| {
+        b.iter(|| {
+            let svm = train(
+                black_box(&samples),
+                black_box(&labels),
+                black_box(&bounds),
+                RbfKernel::new(1.0 / 36.0),
+                &SmoParams::default(),
+            )
+            .unwrap();
+            black_box(svm.stats.iterations)
+        })
+    });
+}
+
+criterion_group!(benches, bench_smo_sizes, bench_smo_mixed_bounds);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! # lrf-cbir — the content-based image retrieval engine
+//!
+//! The substrate the paper's CBIR system ([10, 11] in its references)
+//! provides: an image database with extracted features, content-based
+//! ranking, the automatic evaluation protocol of §6.4, and the glue that
+//! collects simulated feedback logs over the database.
+//!
+//! * [`database::ImageDatabase`] — normalized 36-D features plus
+//!   ground-truth categories for automatic relevance judgment.
+//! * [`corel`] — builders for the synthetic 20-Category and 50-Category
+//!   datasets (100 images per category, mirroring the paper's COREL
+//!   subsets).
+//! * [`distance`] — Euclidean content ranking (the paper's `Euclidean`
+//!   reference curve and the initial-retrieval step of every experiment).
+//! * [`eval`] — precision@k curves, the paper's MAP definition, and the
+//!   full §6.4 protocol scaffolding (random queries, top-20 auto-judged
+//!   labeled sets).
+//! * [`logglue`] — wires [`lrf_logdb::simulate`] to the Euclidean ranker to
+//!   reproduce the paper's log-collection procedure.
+
+pub mod corel;
+pub mod database;
+pub mod distance;
+pub mod eval;
+pub mod logglue;
+
+pub use corel::{CorelDataset, CorelSpec};
+pub use database::ImageDatabase;
+pub use distance::{euclidean_distance, rank_by_euclidean, top_k_euclidean};
+pub use eval::{precision_at, FeedbackExample, PrecisionCurve, QueryProtocol, CUTOFFS};
+pub use logglue::collect_log;

@@ -1,0 +1,448 @@
+//! The coupled support vector machine (Eq. 1) trained by alternating
+//! optimization (§4.2, Fig. 1).
+//!
+//! Two max-margin machines — one per information modality — share a pool of
+//! unlabeled points whose pseudo-labels `Y'` are optimization variables:
+//!
+//! ```text
+//! min  ½‖w‖² + ½‖u‖² + C_w Σξ + C_u Ση + ρC_w Σξ' + ρC_u Ση'
+//! s.t. labeled:   y_i (wᵀx_i + b_w) ≥ 1 − ξ_i,   y_i (uᵀr_i + b_u) ≥ 1 − η_i
+//!      unlabeled: y'_j(wᵀx'_j + b_w) ≥ 1 − ξ'_j, y'_j(uᵀr'_j + b_u) ≥ 1 − η'_j
+//! ```
+//!
+//! **Alternating optimization.** With `Y'` fixed, the problem splits into
+//! two independent soft-margin SVM QPs whose only nonstandard feature is
+//! the per-sample bound (`C` labeled / `ρ*C` unlabeled) — solved by
+//! `lrf-svm`. With the models fixed, the optimal `Y'` minimizes
+//! `Σ_j C_w·hinge(y'_j, f_w) + C_u·hinge(y'_j, f_u)`, an integer program
+//! the paper approximates by flipping exactly the labels both machines
+//! reject: `ξ'_j > 0 ∧ η'_j > 0 ∧ ξ'_j + η'_j > Δ`.
+//!
+//! **Annealing.** `ρ*` starts at `10⁻⁴` so unlabeled points cannot dominate
+//! early, and doubles per outer round up to `ρ` — "similar to the approach
+//! in transductive SVM [Joachims]".
+
+use crate::config::CoupledConfig;
+use lrf_svm::{train, Kernel, SvmError, TrainedSvm};
+use serde::{Deserialize, Serialize};
+
+/// Diagnostics of one coupled training run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Number of ρ* annealing steps executed (including the final full-ρ
+    /// pass when enabled).
+    pub rho_steps: usize,
+    /// Total SVM *pair* trainings (each counts one content + one log QP).
+    pub retrains: usize,
+    /// Total pseudo-label flips performed by the correction loop.
+    pub flips: usize,
+    /// Whether any correction loop hit its round cap (possible oscillation).
+    pub correction_capped: bool,
+    /// Final pseudo-labels of the unlabeled pool.
+    pub final_labels: Vec<f64>,
+}
+
+/// Result of [`train_coupled`]: the two final models plus diagnostics.
+#[derive(Clone, Debug)]
+pub struct CoupledOutcome<S1, K1, S2, K2> {
+    /// The content-modality machine (`w`, `b_w`).
+    pub content: TrainedSvm<S1, K1>,
+    /// The log-modality machine (`u`, `b_u`).
+    pub log: TrainedSvm<S2, K2>,
+    /// Training diagnostics.
+    pub report: TrainReport,
+}
+
+impl<S1, K1: Kernel<S1>, S2, K2: Kernel<S2>> CoupledOutcome<S1, K1, S2, K2> {
+    /// The paper's `CSVM_Dist`: the sum of both machines' decision values —
+    /// the relevance score the final retrieval ranks by.
+    pub fn coupled_score(&self, x: &S1, r: &S2) -> f64 {
+        self.content.model.decision(x) + self.log.model.decision(r)
+    }
+}
+
+/// Trains the coupled SVM over two modalities.
+///
+/// * `labeled_a` / `labeled_b` — the `N_l` labeled samples in each modality
+///   (same images, aligned by index) with shared labels `y`.
+/// * `unlabeled_a` / `unlabeled_b` — the `N'` unlabeled samples, with
+///   initial pseudo-labels `y_init` (±1).
+/// * `kernel_a` / `kernel_b` — the per-modality kernels.
+///
+/// # Errors
+/// Propagates solver errors (invalid labels/bounds, non-finite kernels).
+///
+/// # Panics
+/// Panics if the modality arrays are misaligned.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's explicit operands
+pub fn train_coupled<S1, K1, S2, K2>(
+    labeled_a: &[S1],
+    labeled_b: &[S2],
+    y: &[f64],
+    unlabeled_a: &[S1],
+    unlabeled_b: &[S2],
+    y_init: &[f64],
+    kernel_a: K1,
+    kernel_b: K2,
+    cfg: &CoupledConfig,
+) -> Result<CoupledOutcome<S1, K1, S2, K2>, SvmError>
+where
+    S1: Clone,
+    K1: Kernel<S1> + Clone,
+    S2: Clone,
+    K2: Kernel<S2> + Clone,
+{
+    cfg.validate();
+    assert_eq!(labeled_a.len(), labeled_b.len(), "labeled modalities misaligned");
+    assert_eq!(labeled_a.len(), y.len(), "labels misaligned with labeled samples");
+    assert_eq!(unlabeled_a.len(), unlabeled_b.len(), "unlabeled modalities misaligned");
+    assert_eq!(unlabeled_a.len(), y_init.len(), "initial pseudo-labels misaligned");
+
+    let n_l = labeled_a.len();
+    let n_u = unlabeled_a.len();
+    let mut y_prime = y_init.to_vec();
+
+    // Concatenated sample views reused across retrains.
+    let all_a: Vec<S1> = labeled_a.iter().chain(unlabeled_a).cloned().collect();
+    let all_b: Vec<S2> = labeled_b.iter().chain(unlabeled_b).cloned().collect();
+
+    let mut report = TrainReport {
+        rho_steps: 0,
+        retrains: 0,
+        flips: 0,
+        correction_capped: false,
+        final_labels: Vec::new(),
+    };
+
+    let train_pair = |rho_star: f64,
+                      y_prime: &[f64],
+                      retrains: &mut usize|
+     -> Result<(TrainedSvm<S1, K1>, TrainedSvm<S2, K2>), SvmError> {
+        let mut labels = Vec::with_capacity(n_l + n_u);
+        labels.extend_from_slice(y);
+        labels.extend_from_slice(y_prime);
+        let mut bounds_a = vec![cfg.c_content; n_l];
+        bounds_a.extend(std::iter::repeat(rho_star * cfg.c_content).take(n_u));
+        let mut bounds_b = vec![cfg.c_log; n_l];
+        bounds_b.extend(std::iter::repeat(rho_star * cfg.c_log).take(n_u));
+        let a = train(&all_a, &labels, &bounds_a, kernel_a.clone(), &cfg.smo)?;
+        let b = train(&all_b, &labels, &bounds_b, kernel_b.clone(), &cfg.smo)?;
+        *retrains += 1;
+        Ok((a, b))
+    };
+
+    // Degenerate-but-legal case: no unlabeled points. The coupled problem
+    // collapses to two independent labeled SVMs.
+    if n_u == 0 {
+        let (a, b) = train_pair(cfg.rho, &y_prime, &mut report.retrains)?;
+        report.rho_steps = 1;
+        return Ok(CoupledOutcome { content: a, log: b, report });
+    }
+
+    let mut rho_star = cfg.rho_init.min(cfg.rho);
+    let mut pair = train_pair(rho_star, &y_prime, &mut report.retrains)?;
+    run_label_correction(
+        &mut pair,
+        unlabeled_a,
+        unlabeled_b,
+        &mut y_prime,
+        cfg,
+        &mut report,
+        rho_star,
+        &train_pair,
+    )?;
+    report.rho_steps += 1;
+
+    // Fig. 1: WHILE (ρ* < ρ) { train; correct; ρ* = min(2ρ*, ρ) }.
+    while rho_star < cfg.rho {
+        rho_star = (2.0 * rho_star).min(cfg.rho);
+        // The loop body trains at the *new* ρ* only while it is still below
+        // ρ; the final value is covered by `final_full_rho_pass` below.
+        if rho_star < cfg.rho || cfg.final_full_rho_pass {
+            pair = train_pair(rho_star, &y_prime, &mut report.retrains)?;
+            run_label_correction(
+                &mut pair,
+                unlabeled_a,
+                unlabeled_b,
+                &mut y_prime,
+                cfg,
+                &mut report,
+                rho_star,
+                &train_pair,
+            )?;
+            report.rho_steps += 1;
+        }
+    }
+
+    report.final_labels = y_prime;
+    Ok(CoupledOutcome { content: pair.0, log: pair.1, report })
+}
+
+/// The inner correction loop of Fig. 1: while any unlabeled point has
+/// positive slack on *both* modalities exceeding `Δ` in sum, flip those
+/// pseudo-labels and retrain both machines.
+#[allow(clippy::too_many_arguments)]
+fn run_label_correction<S1, K1, S2, K2, F>(
+    pair: &mut (TrainedSvm<S1, K1>, TrainedSvm<S2, K2>),
+    unlabeled_a: &[S1],
+    unlabeled_b: &[S2],
+    y_prime: &mut [f64],
+    cfg: &CoupledConfig,
+    report: &mut TrainReport,
+    rho_star: f64,
+    train_pair: &F,
+) -> Result<(), SvmError>
+where
+    S1: Clone,
+    K1: Kernel<S1>,
+    S2: Clone,
+    K2: Kernel<S2>,
+    F: Fn(f64, &[f64], &mut usize) -> Result<(TrainedSvm<S1, K1>, TrainedSvm<S2, K2>), SvmError>,
+{
+    for round in 0.. {
+        if round >= cfg.max_correction_rounds {
+            report.correction_capped = true;
+            break;
+        }
+        let xi = pair.0.slacks(unlabeled_a, y_prime);
+        let eta = pair.1.slacks(unlabeled_b, y_prime);
+        let mut flipped_any = false;
+        for j in 0..y_prime.len() {
+            if xi[j] > 0.0 && eta[j] > 0.0 && xi[j] + eta[j] > cfg.delta {
+                y_prime[j] = -y_prime[j];
+                report.flips += 1;
+                flipped_any = true;
+            }
+        }
+        if !flipped_any {
+            break;
+        }
+        *pair = train_pair(rho_star, y_prime, &mut report.retrains)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::LogRbfKernel;
+    use lrf_logdb::SparseVector;
+    use lrf_svm::{RbfKernel, SmoParams};
+
+    /// Two modalities that agree: content clusers at ±1, log vectors with
+    /// matching session signatures.
+    fn agreeing_problem() -> (
+        Vec<Vec<f64>>,
+        Vec<SparseVector>,
+        Vec<f64>,
+        Vec<Vec<f64>>,
+        Vec<SparseVector>,
+    ) {
+        let labeled_a = vec![
+            vec![1.0, 0.9],
+            vec![0.9, 1.1],
+            vec![-1.0, -0.9],
+            vec![-1.1, -1.0],
+        ];
+        let labeled_b = vec![
+            SparseVector::from_entries(vec![(0, 1.0)]),
+            SparseVector::from_entries(vec![(0, 1.0), (1, 1.0)]),
+            SparseVector::from_entries(vec![(0, -1.0)]),
+            SparseVector::from_entries(vec![(0, -1.0), (1, -1.0)]),
+        ];
+        let y = vec![1.0, 1.0, -1.0, -1.0];
+        let unlabeled_a = vec![vec![0.8, 1.0], vec![-0.9, -1.1]];
+        let unlabeled_b = vec![
+            SparseVector::from_entries(vec![(1, 1.0)]),
+            SparseVector::from_entries(vec![(1, -1.0)]),
+        ];
+        (labeled_a, labeled_b, y, unlabeled_a, unlabeled_b)
+    }
+
+    fn kernels() -> (RbfKernel, LogRbfKernel) {
+        (RbfKernel::new(0.5), LogRbfKernel::new(0.5))
+    }
+
+    #[test]
+    fn trains_and_classifies_consistently() {
+        let (la, lb, y, ua, ub) = agreeing_problem();
+        let (ka, kb) = kernels();
+        let out = train_coupled(
+            &la,
+            &lb,
+            &y,
+            &ua,
+            &ub,
+            &[1.0, -1.0],
+            ka,
+            kb,
+            &CoupledConfig::default(),
+        )
+        .unwrap();
+        // Both machines classify the labeled data correctly.
+        for (i, x) in la.iter().enumerate() {
+            assert!(out.content.model.decision(x) * y[i] > 0.0, "content sample {i}");
+        }
+        for (i, r) in lb.iter().enumerate() {
+            assert!(out.log.model.decision(r) * y[i] > 0.0, "log sample {i}");
+        }
+        // Coupled score agrees with the shared structure.
+        assert!(out.coupled_score(&ua[0], &ub[0]) > out.coupled_score(&ua[1], &ub[1]));
+        assert!(out.report.retrains >= 1);
+        assert!(out.report.rho_steps >= 2, "annealing must take multiple steps");
+        assert_eq!(out.report.final_labels, vec![1.0, -1.0]);
+    }
+
+    #[test]
+    fn wrong_pseudo_labels_get_corrected() {
+        // Initialize the pseudo-labels INVERTED: the correction loop must
+        // flip them back because both modalities place the points firmly on
+        // the other side.
+        let (la, lb, y, ua, ub) = agreeing_problem();
+        let (ka, kb) = kernels();
+        let cfg = CoupledConfig { delta: 1.0, ..Default::default() };
+        let out =
+            train_coupled(&la, &lb, &y, &ua, &ub, &[-1.0, 1.0], ka, kb, &cfg).unwrap();
+        assert_eq!(
+            out.report.final_labels,
+            vec![1.0, -1.0],
+            "correction should recover the consistent labeling (flips={})",
+            out.report.flips
+        );
+        assert!(out.report.flips >= 2);
+    }
+
+    #[test]
+    fn no_unlabeled_pool_degrades_to_independent_svms() {
+        let (la, lb, y, _, _) = agreeing_problem();
+        let (ka, kb) = kernels();
+        let out = train_coupled(
+            &la,
+            &lb,
+            &y,
+            &[],
+            &[],
+            &[],
+            ka,
+            kb,
+            &CoupledConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.report.rho_steps, 1);
+        assert_eq!(out.report.flips, 0);
+        for (i, x) in la.iter().enumerate() {
+            assert!(out.content.model.decision(x) * y[i] > 0.0);
+        }
+    }
+
+    #[test]
+    fn annealing_step_count_matches_schedule() {
+        // rho_init 1e-4 doubling to rho 0.5: steps at 1e-4, 2e-4, ..., plus
+        // the final pass. ceil(log2(0.5/1e-4)) = 13 doublings.
+        let (la, lb, y, ua, ub) = agreeing_problem();
+        let (ka, kb) = kernels();
+        let cfg = CoupledConfig::default();
+        let out = train_coupled(&la, &lb, &y, &ua, &ub, &[1.0, -1.0], ka, kb, &cfg).unwrap();
+        let expected = ((cfg.rho / cfg.rho_init).log2().ceil() as usize) + 1;
+        assert_eq!(out.report.rho_steps, expected, "steps {}", out.report.rho_steps);
+    }
+
+    #[test]
+    fn disabling_final_pass_trains_fewer_steps() {
+        let (la, lb, y, ua, ub) = agreeing_problem();
+        let (ka, kb) = kernels();
+        let with_pass = CoupledConfig::default();
+        let without_pass = CoupledConfig { final_full_rho_pass: false, ..with_pass };
+        let a = train_coupled(&la, &lb, &y, &ua, &ub, &[1.0, -1.0], ka, kb, &with_pass)
+            .unwrap();
+        let b = train_coupled(&la, &lb, &y, &ua, &ub, &[1.0, -1.0], ka, kb, &without_pass)
+            .unwrap();
+        assert_eq!(a.report.rho_steps, b.report.rho_steps + 1);
+    }
+
+    #[test]
+    fn correction_cap_terminates_oscillation() {
+        // A pool of contradictory points (content says +, log says −) with
+        // a tiny Δ invites oscillation; the cap must terminate training and
+        // be reported.
+        let la = vec![vec![1.0, 1.0], vec![-1.0, -1.0]];
+        let lb = vec![
+            SparseVector::from_entries(vec![(0, 1.0)]),
+            SparseVector::from_entries(vec![(0, -1.0)]),
+        ];
+        let y = vec![1.0, -1.0];
+        // Unlabeled: content features positive-side, log vectors negative-side.
+        let ua = vec![vec![1.2, 0.8], vec![0.9, 1.3]];
+        let ub = vec![
+            SparseVector::from_entries(vec![(0, -1.0)]),
+            SparseVector::from_entries(vec![(0, -1.0), (1, -1.0)]),
+        ];
+        let (ka, kb) = kernels();
+        let cfg = CoupledConfig {
+            delta: 0.0,
+            max_correction_rounds: 2,
+            rho: 1.0,
+            ..Default::default()
+        };
+        let out = train_coupled(&la, &lb, &y, &ua, &ub, &[1.0, 1.0], ka, kb, &cfg).unwrap();
+        // Must terminate (the assertion is that we got here) and flag the cap
+        // if it oscillated; either way, the report is internally consistent.
+        assert!(out.report.retrains >= out.report.rho_steps);
+        if out.report.correction_capped {
+            assert!(out.report.flips > 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "misaligned")]
+    fn misaligned_modalities_panic() {
+        let (la, lb, y, ua, _) = agreeing_problem();
+        let (ka, kb) = kernels();
+        let _ = train_coupled(
+            &la,
+            &lb,
+            &y,
+            &ua,
+            &[],
+            &[1.0, -1.0],
+            ka,
+            kb,
+            &CoupledConfig::default(),
+        );
+    }
+
+    #[test]
+    fn rho_larger_weights_move_unlabeled_influence() {
+        // With rho → 0 the unlabeled points have ~no influence; with a big
+        // rho they pull the boundary. Verify the decision values differ.
+        let (la, lb, y, ua, ub) = agreeing_problem();
+        let (ka, kb) = kernels();
+        let weak = CoupledConfig { rho: 1e-4, rho_init: 1e-4, ..Default::default() };
+        let strong = CoupledConfig { rho: 2.0, rho_init: 1e-4, ..Default::default() };
+        let out_weak =
+            train_coupled(&la, &lb, &y, &ua, &ub, &[1.0, -1.0], ka, kb, &weak).unwrap();
+        let out_strong =
+            train_coupled(&la, &lb, &y, &ua, &ub, &[1.0, -1.0], ka, kb, &strong).unwrap();
+        let probe = vec![0.5, 0.6];
+        let d_weak = out_weak.content.model.decision(&probe);
+        let d_strong = out_strong.content.model.decision(&probe);
+        assert!(
+            (d_weak - d_strong).abs() > 1e-6,
+            "rho must matter: {d_weak} vs {d_strong}"
+        );
+    }
+
+    #[test]
+    fn smo_params_are_threaded_through() {
+        // An absurdly low iteration cap must be respected (convergence flag
+        // off) — proving the inner solver reads the provided SmoParams.
+        let (la, lb, y, ua, ub) = agreeing_problem();
+        let (ka, kb) = kernels();
+        let cfg = CoupledConfig {
+            smo: SmoParams { max_iter: 1, ..Default::default() },
+            ..Default::default()
+        };
+        let out = train_coupled(&la, &lb, &y, &ua, &ub, &[1.0, -1.0], ka, kb, &cfg).unwrap();
+        assert!(!out.content.stats.converged);
+    }
+}

@@ -1,0 +1,76 @@
+//! The common interface every compared scheme implements.
+
+use lrf_cbir::{FeedbackExample, ImageDatabase};
+use lrf_logdb::LogStore;
+
+/// Everything a scheme sees when ranking: the database, the accumulated
+/// feedback log, and the current query's feedback round.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryContext<'a> {
+    /// The image database (features + ground truth for evaluation only).
+    pub db: &'a ImageDatabase,
+    /// The historical feedback log (`R` of §2).
+    pub log: &'a LogStore,
+    /// The current round: query id and the `N_l` labeled images.
+    pub example: &'a FeedbackExample,
+}
+
+/// A relevance-feedback scheme: given one feedback round, produce a full
+/// ranking of the database (most relevant first).
+pub trait RelevanceFeedback {
+    /// Human-readable scheme name as used in the paper's tables
+    /// (`"Euclidean"`, `"RF-SVM"`, `"LRF-2SVMs"`, `"LRF-CSVM"`).
+    fn name(&self) -> &'static str;
+
+    /// Ranks every image id in `ctx.db`, most relevant first. The returned
+    /// permutation must contain each id exactly once.
+    fn rank(&self, ctx: &QueryContext<'_>) -> Vec<usize>;
+
+    /// Per-image decision scores aligned with image ids, when the scheme
+    /// has a real decision function (SVM-based schemes). Presentation
+    /// policies (see `active`) need score *magnitudes* — a ranking alone
+    /// cannot express uncertainty. Default: `None`.
+    fn scores(&self, _ctx: &QueryContext<'_>) -> Option<Vec<f64>> {
+        None
+    }
+}
+
+/// Sorts image ids by descending score with deterministic id tie-breaking —
+/// the shared final step of every learning scheme.
+pub fn rank_by_scores(scores: &[f64]) -> Vec<usize> {
+    let mut ids: Vec<usize> = (0..scores.len()).collect();
+    ids.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_by_scores_descends_with_stable_ties() {
+        let ranked = rank_by_scores(&[0.1, 0.9, 0.5, 0.9]);
+        assert_eq!(ranked, vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn rank_by_scores_handles_nan_without_panicking() {
+        // NaN scores compare "equal" and fall back to id ordering rather
+        // than panicking mid-query.
+        let ranked = rank_by_scores(&[f64::NAN, 1.0, f64::NAN]);
+        assert_eq!(ranked.len(), 3);
+        let mut sorted = ranked.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn rank_by_scores_empty() {
+        assert!(rank_by_scores(&[]).is_empty());
+    }
+}

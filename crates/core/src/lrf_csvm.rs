@@ -1,0 +1,371 @@
+//! The practical LRF-CSVM algorithm — a line-by-line implementation of the
+//! paper's Fig. 1.
+//!
+//! ```text
+//! 1. Selecting N' unlabeled samples:
+//!      train SVM on labeled content, SVM on labeled log vectors;
+//!      dist(z_i) = SVM_Dist(x_i, w, b_w) + SVM_Dist(r_i, u, b_u);
+//!      S' = N'/2 samples with max dist ∪ N'/2 with min dist.
+//! 2. Training the coupled SVM:
+//!      ρ* = 10⁻⁴; anneal (×2) up to ρ with Δ-gated label correction.
+//! 3. Retrieving:
+//!      dist(z_i) = CSVM_Dist(x_i, r_i, w, b_w, u, b_u);
+//!      return the N_r images with max dist.
+//! ```
+//!
+//! §6.5 motivates step 1's max/min strategy: "choose unlabeled images
+//! closest to the positive labeled images for half the samples, and those
+//! closest to the negative labeled images for the other half"; the
+//! active-learning alternative (samples nearest the boundary) "did not
+//! achieve promising improvements" and is kept here as
+//! [`UnlabeledSelection::ClosestToBoundary`] to reproduce that finding.
+
+use crate::config::{LrfConfig, PseudoLabelInit, UnlabeledSelection};
+use crate::coupled::{train_coupled, CoupledOutcome, TrainReport};
+use crate::feedback::{rank_by_scores, QueryContext, RelevanceFeedback};
+use crate::lrf_2svms::Lrf2Svms;
+use crate::rf_svm::RfSvm;
+use lrf_logdb::SparseVector;
+use lrf_svm::RbfKernel;
+
+/// The paper's algorithm.
+#[derive(Clone, Debug, Default)]
+pub struct LrfCsvm {
+    /// Full configuration (see [`LrfConfig`] for per-field rationale).
+    pub config: LrfConfig,
+}
+
+/// Everything one LRF-CSVM query produces beyond the ranking — exposed for
+/// diagnostics, tests, and the ablation benches.
+#[derive(Clone, Debug)]
+pub struct LrfCsvmOutcome {
+    /// The final ranking (most relevant first).
+    pub ranking: Vec<usize>,
+    /// The per-image `CSVM_Dist` scores the ranking was derived from.
+    pub scores: Vec<f64>,
+    /// Image ids chosen as the unlabeled pool `S'`.
+    pub unlabeled_ids: Vec<usize>,
+    /// Coupled-training diagnostics.
+    pub report: TrainReport,
+}
+
+impl LrfCsvm {
+    /// Creates the scheme with an explicit configuration.
+    pub fn new(config: LrfConfig) -> Self {
+        config.validate();
+        Self { config }
+    }
+
+    /// Runs the full algorithm, returning ranking + diagnostics.
+    pub fn run(&self, ctx: &QueryContext<'_>) -> LrfCsvmOutcome {
+        let cfg = &self.config;
+        let db = ctx.db;
+
+        // ---- Step 1: initial per-modality SVMs on the labeled round. ----
+        let content0 = RfSvm::new(*cfg).train_content_svm(ctx);
+        let log0 = Lrf2Svms::new(*cfg).train_log_svm(ctx);
+
+        let content_scores = RfSvm::score_all(db, &content0.model);
+        let log_scores = Lrf2Svms::score_all_log(ctx.log, &log0.model);
+        let dist: Vec<f64> =
+            content_scores.iter().zip(&log_scores).map(|(c, l)| c + l).collect();
+
+        let (unlabeled_ids, y_init) = self.select_unlabeled(ctx, &dist);
+
+        // ---- Step 2: coupled training. ----
+        let labeled_x: Vec<Vec<f64>> =
+            ctx.example.labeled.iter().map(|&(id, _)| db.feature(id).clone()).collect();
+        let labeled_r: Vec<SparseVector> =
+            ctx.example.labeled.iter().map(|&(id, _)| ctx.log.log_vector(id).clone()).collect();
+        let y: Vec<f64> = ctx.example.labeled.iter().map(|&(_, l)| l).collect();
+        let unl_x: Vec<Vec<f64>> =
+            unlabeled_ids.iter().map(|&id| db.feature(id).clone()).collect();
+        let unl_r: Vec<SparseVector> =
+            unlabeled_ids.iter().map(|&id| ctx.log.log_vector(id).clone()).collect();
+
+        let gamma_content =
+            cfg.gamma_content.unwrap_or(1.0 / lrf_features::TOTAL_DIMS as f64);
+        let outcome: CoupledOutcome<_, _, _, _> = train_coupled(
+            &labeled_x,
+            &labeled_r,
+            &y,
+            &unl_x,
+            &unl_r,
+            &y_init,
+            RbfKernel::new(gamma_content),
+            cfg.log_kernel,
+            &cfg.coupled,
+        )
+        .expect("coupled training cannot fail on validated feedback rounds");
+
+        // ---- Step 3: rank by CSVM_Dist over the whole database. ----
+        let scores: Vec<f64> = db
+            .features()
+            .iter()
+            .zip(ctx.log.log_vectors())
+            .map(|(x, r)| outcome.coupled_score(x, r))
+            .collect();
+
+        LrfCsvmOutcome {
+            ranking: rank_by_scores(&scores),
+            scores,
+            unlabeled_ids,
+            report: outcome.report,
+        }
+    }
+
+    /// Step 1's selection: returns `(ids, initial pseudo-labels)`.
+    fn select_unlabeled(
+        &self,
+        ctx: &QueryContext<'_>,
+        dist: &[f64],
+    ) -> (Vec<usize>, Vec<f64>) {
+        let labeled: std::collections::HashSet<usize> =
+            ctx.example.labeled.iter().map(|&(id, _)| id).collect();
+        // Candidates sorted by descending combined distance, ties by id.
+        let mut candidates: Vec<usize> =
+            (0..dist.len()).filter(|id| !labeled.contains(id)).collect();
+        candidates.sort_by(|&a, &b| {
+            dist[b].partial_cmp(&dist[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+        });
+
+        let n = self.config.n_unlabeled.min(candidates.len());
+        if n == 0 {
+            return (Vec::new(), Vec::new());
+        }
+
+        let ids: Vec<usize> = match self.config.selection {
+            UnlabeledSelection::MaxMinCombinedDistance => {
+                let n_top = n / 2;
+                let n_bottom = n - n_top;
+                let mut ids: Vec<usize> = candidates[..n_top].to_vec();
+                ids.extend_from_slice(&candidates[candidates.len() - n_bottom..]);
+                ids
+            }
+            UnlabeledSelection::ClosestToBoundary => {
+                let mut by_abs = candidates.clone();
+                by_abs.sort_by(|&a, &b| {
+                    dist[a]
+                        .abs()
+                        .partial_cmp(&dist[b].abs())
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.cmp(&b))
+                });
+                by_abs.truncate(n);
+                by_abs
+            }
+            UnlabeledSelection::Random => {
+                use rand::seq::SliceRandom;
+                use rand::SeedableRng;
+                let mut rng = rand::rngs::StdRng::seed_from_u64(
+                    self.config.random_init_seed ^ ctx.example.query as u64,
+                );
+                let mut shuffled = candidates.clone();
+                shuffled.shuffle(&mut rng);
+                shuffled.truncate(n);
+                shuffled
+            }
+        };
+
+        let y_init: Vec<f64> = match (self.config.init, self.config.selection) {
+            // Selection-side init only makes sense for the max/min split.
+            (PseudoLabelInit::BySelectionSide, UnlabeledSelection::MaxMinCombinedDistance) => {
+                let n_top = n / 2;
+                (0..n).map(|i| if i < n_top { 1.0 } else { -1.0 }).collect()
+            }
+            (PseudoLabelInit::Random, _) => {
+                use rand::Rng;
+                use rand::SeedableRng;
+                let mut rng = rand::rngs::StdRng::seed_from_u64(
+                    self.config.random_init_seed ^ (ctx.example.query as u64).rotate_left(17),
+                );
+                (0..n).map(|_| if rng.gen_bool(0.5) { 1.0 } else { -1.0 }).collect()
+            }
+            // ByDistanceSign, and the fallback for BySelectionSide under
+            // non-max/min selections.
+            _ => ids.iter().map(|&id| if dist[id] >= 0.0 { 1.0 } else { -1.0 }).collect(),
+        };
+
+        (ids, y_init)
+    }
+}
+
+impl RelevanceFeedback for LrfCsvm {
+    fn name(&self) -> &'static str {
+        "LRF-CSVM"
+    }
+
+    fn rank(&self, ctx: &QueryContext<'_>) -> Vec<usize> {
+        self.run(ctx).ranking
+    }
+
+    fn scores(&self, ctx: &QueryContext<'_>) -> Option<Vec<f64>> {
+        Some(self.run(ctx).scores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrf_cbir::{collect_log, precision_at, CorelDataset, CorelSpec, QueryProtocol};
+    use lrf_logdb::{LogStore, SimulationConfig};
+
+    fn setup(noise: f64, sessions: usize) -> (CorelDataset, LogStore) {
+        let ds = CorelDataset::build(CorelSpec::tiny(4, 12, 19));
+        let log = collect_log(
+            &ds.db,
+            &SimulationConfig { n_sessions: sessions, judged_per_session: 10, rounds_per_query: 2, noise, seed: 23 },
+        );
+        (ds, log)
+    }
+
+    fn small_config() -> LrfConfig {
+        // Shrink the pool + annealing for test speed; rho stays at the
+        // calibrated scale so transduction cannot dominate the tiny corpus.
+        LrfConfig {
+            n_unlabeled: 8,
+            coupled: crate::config::CoupledConfig {
+                rho_init: 0.01,
+                rho: 0.05,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn rank_is_a_permutation_with_diagnostics() {
+        let (ds, log) = setup(0.1, 20);
+        let proto = QueryProtocol { n_queries: 1, n_labeled: 8, seed: 0 };
+        let example = proto.feedback_example(&ds.db, 7);
+        let scheme = LrfCsvm::new(small_config());
+        let out = scheme.run(&QueryContext { db: &ds.db, log: &log, example: &example });
+        let mut sorted = out.ranking.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..ds.db.len()).collect::<Vec<_>>());
+        assert_eq!(out.unlabeled_ids.len(), 8);
+        assert!(out.report.retrains >= out.report.rho_steps);
+        assert_eq!(scheme.name(), "LRF-CSVM");
+    }
+
+    #[test]
+    fn unlabeled_pool_excludes_labeled_images() {
+        let (ds, log) = setup(0.0, 20);
+        let proto = QueryProtocol { n_queries: 1, n_labeled: 10, seed: 0 };
+        let example = proto.feedback_example(&ds.db, 3);
+        let scheme = LrfCsvm::new(small_config());
+        let out = scheme.run(&QueryContext { db: &ds.db, log: &log, example: &example });
+        for &(id, _) in &example.labeled {
+            assert!(!out.unlabeled_ids.contains(&id), "labeled id {id} leaked into pool");
+        }
+        // no duplicates
+        let mut ids = out.unlabeled_ids.clone();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), out.unlabeled_ids.len());
+    }
+
+    #[test]
+    fn selection_strategies_differ() {
+        let (ds, log) = setup(0.0, 20);
+        let proto = QueryProtocol { n_queries: 1, n_labeled: 8, seed: 0 };
+        let example = proto.feedback_example(&ds.db, 5);
+        let ctx = QueryContext { db: &ds.db, log: &log, example: &example };
+        let maxmin = LrfCsvm::new(small_config()).run(&ctx).unlabeled_ids;
+        let boundary = LrfCsvm::new(LrfConfig {
+            selection: UnlabeledSelection::ClosestToBoundary,
+            ..small_config()
+        })
+        .run(&ctx)
+        .unlabeled_ids;
+        assert_ne!(maxmin, boundary, "strategies should pick different pools");
+    }
+
+    #[test]
+    fn selection_side_init_labels_match_pool_order() {
+        let (ds, log) = setup(0.0, 20);
+        let proto = QueryProtocol { n_queries: 1, n_labeled: 8, seed: 0 };
+        let example = proto.feedback_example(&ds.db, 5);
+        let cfg = small_config();
+        let scheme = LrfCsvm::new(cfg);
+        let ctx = QueryContext { db: &ds.db, log: &log, example: &example };
+
+        // Reproduce step 1 manually to check the split.
+        let content0 = RfSvm::new(cfg).train_content_svm(&ctx);
+        let log0 = Lrf2Svms::new(cfg).train_log_svm(&ctx);
+        let cs = RfSvm::score_all(&ds.db, &content0.model);
+        let ls = Lrf2Svms::score_all_log(&log, &log0.model);
+        let dist: Vec<f64> = cs.iter().zip(&ls).map(|(a, b)| a + b).collect();
+        let (ids, init) = scheme.select_unlabeled(&ctx, &dist);
+        let n_top = ids.len() / 2;
+        for i in 0..ids.len() {
+            assert_eq!(init[i], if i < n_top { 1.0 } else { -1.0 });
+        }
+        // Top half really does have larger dist than bottom half.
+        let top_min =
+            ids[..n_top].iter().map(|&id| dist[id]).fold(f64::INFINITY, f64::min);
+        let bottom_max = ids[n_top..]
+            .iter()
+            .map(|&id| dist[id])
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(top_min >= bottom_max);
+    }
+
+    #[test]
+    fn beats_or_matches_rf_svm_with_clean_log() {
+        let (ds, log) = setup(0.0, 60);
+        let proto = QueryProtocol { n_queries: 8, n_labeled: 10, seed: 13 };
+        let lrf = LrfCsvm::new(small_config());
+        let rf = crate::rf_svm::RfSvm::default();
+        let mut p_lrf = 0.0;
+        let mut p_rf = 0.0;
+        let queries = proto.sample_queries(&ds.db);
+        for &q in &queries {
+            let example = proto.feedback_example(&ds.db, q);
+            let ctx = QueryContext { db: &ds.db, log: &log, example: &example };
+            let rel = |id: usize| ds.db.same_category(id, q);
+            p_lrf += precision_at(&lrf.rank(&ctx), rel, 12);
+            p_rf += precision_at(&rf.rank(&ctx), rel, 12);
+        }
+        assert!(
+            p_lrf >= p_rf,
+            "coupled SVM should not lose to content-only: {p_lrf} vs {p_rf}"
+        );
+    }
+
+    #[test]
+    fn empty_log_still_produces_valid_ranking() {
+        let ds = CorelDataset::build(CorelSpec::tiny(3, 6, 4));
+        let log = LogStore::new(ds.db.len());
+        let proto = QueryProtocol { n_queries: 1, n_labeled: 6, seed: 0 };
+        let example = proto.feedback_example(&ds.db, 1);
+        let ranked = LrfCsvm::new(small_config())
+            .rank(&QueryContext { db: &ds.db, log: &log, example: &example });
+        assert_eq!(ranked.len(), ds.db.len());
+    }
+
+    #[test]
+    fn tiny_database_clamps_pool() {
+        // Database smaller than n_unlabeled + labeled: pool must clamp.
+        let ds = CorelDataset::build(CorelSpec::tiny(2, 5, 6));
+        let log = LogStore::new(ds.db.len());
+        let proto = QueryProtocol { n_queries: 1, n_labeled: 6, seed: 0 };
+        let example = proto.feedback_example(&ds.db, 0);
+        let cfg = LrfConfig { n_unlabeled: 100, ..small_config() };
+        let out =
+            LrfCsvm::new(cfg).run(&QueryContext { db: &ds.db, log: &log, example: &example });
+        assert_eq!(out.unlabeled_ids.len(), ds.db.len() - 6);
+    }
+
+    #[test]
+    fn random_selection_is_deterministic_per_query() {
+        let (ds, log) = setup(0.0, 10);
+        let proto = QueryProtocol { n_queries: 1, n_labeled: 8, seed: 0 };
+        let example = proto.feedback_example(&ds.db, 2);
+        let cfg = LrfConfig { selection: UnlabeledSelection::Random, ..small_config() };
+        let ctx = QueryContext { db: &ds.db, log: &log, example: &example };
+        let a = LrfCsvm::new(cfg).run(&ctx).unlabeled_ids;
+        let b = LrfCsvm::new(cfg).run(&ctx).unlabeled_ids;
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,326 @@
+//! Multi-modality coupled SVM — the generalization the paper sketches.
+//!
+//! "Without losing generality, we formalize the coupled SVM for learning on
+//! data with two types of information. It can be naturally generalized for
+//! learning on a multiple-modality problem." This module is that
+//! generalization for *k* dense modalities:
+//!
+//! * one max-margin machine per modality, all sharing labels and the
+//!   unlabeled pseudo-labels `Y'`;
+//! * alternating optimization with the same ρ-annealing schedule;
+//! * the label-correction rule generalizes conjunctively: flip `y'_j` when
+//!   **every** modality has positive slack on it and the summed slack
+//!   exceeds `Δ` (for `k = 2` this is exactly Fig. 1's rule).
+
+use crate::coupled::TrainReport;
+use lrf_svm::{train, Kernel, SmoParams, SvmError, SvmModel, TrainedSvm};
+use serde::{Deserialize, Serialize};
+
+/// Kernel choice for a dense modality (an enum so heterogeneous modalities
+/// can live in one `Vec<ModalityData>` without generics).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum DenseKernel {
+    /// `K(a,b) = aᵀb`.
+    Linear,
+    /// `K(a,b) = exp(−γ‖a−b‖²)`.
+    Rbf {
+        /// Width parameter γ.
+        gamma: f64,
+    },
+}
+
+impl Kernel<Vec<f64>> for DenseKernel {
+    #[inline]
+    fn compute(&self, a: &Vec<f64>, b: &Vec<f64>) -> f64 {
+        match self {
+            DenseKernel::Linear => lrf_svm::kernel::dot(a, b),
+            DenseKernel::Rbf { gamma } => {
+                (-gamma * lrf_svm::kernel::squared_distance(a, b)).exp()
+            }
+        }
+    }
+}
+
+/// One modality's data and hyperparameters.
+#[derive(Clone, Debug)]
+pub struct ModalityData {
+    /// Labeled samples (aligned with the shared label vector).
+    pub labeled: Vec<Vec<f64>>,
+    /// Unlabeled samples (aligned with the shared pseudo-label vector).
+    pub unlabeled: Vec<Vec<f64>>,
+    /// Kernel for this modality.
+    pub kernel: DenseKernel,
+    /// Labeled-slack penalty `C` for this modality.
+    pub c: f64,
+}
+
+/// Configuration of the multi-modality trainer (the annealing/correction
+/// knobs of [`crate::CoupledConfig`], without the two fixed per-modality
+/// penalties — those live on each [`ModalityData`]).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MultiCoupledConfig {
+    /// Final unlabeled regularization weight ρ.
+    pub rho: f64,
+    /// Initial annealed ρ*.
+    pub rho_init: f64,
+    /// Label-correction gate Δ (summed slack across all modalities).
+    pub delta: f64,
+    /// Cap on correction rounds per ρ* step.
+    pub max_correction_rounds: usize,
+    /// Whether to run a final pass at ρ* = ρ.
+    pub final_full_rho_pass: bool,
+    /// Inner solver parameters.
+    pub smo: SmoParams,
+}
+
+impl Default for MultiCoupledConfig {
+    fn default() -> Self {
+        Self {
+            rho: 0.5,
+            rho_init: 1e-4,
+            delta: 2.0,
+            max_correction_rounds: 10,
+            final_full_rho_pass: true,
+            smo: SmoParams::default(),
+        }
+    }
+}
+
+/// Result of [`train_multi_coupled`].
+#[derive(Clone, Debug)]
+pub struct MultiCoupledOutcome {
+    /// One trained machine per modality, in input order.
+    pub machines: Vec<TrainedSvm<Vec<f64>, DenseKernel>>,
+    /// Training diagnostics (shared across modalities).
+    pub report: TrainReport,
+}
+
+impl MultiCoupledOutcome {
+    /// The coupled relevance score of a sample given per-modality views:
+    /// the sum of all machines' decision values.
+    ///
+    /// # Panics
+    /// Panics if `views.len()` differs from the number of modalities.
+    pub fn coupled_score(&self, views: &[Vec<f64>]) -> f64 {
+        assert_eq!(views.len(), self.machines.len(), "one view per modality required");
+        self.machines
+            .iter()
+            .zip(views)
+            .map(|(m, v)| m.model.decision(v))
+            .sum()
+    }
+
+    /// Borrow the per-modality models.
+    pub fn models(&self) -> impl Iterator<Item = &SvmModel<Vec<f64>, DenseKernel>> {
+        self.machines.iter().map(|m| &m.model)
+    }
+}
+
+/// Trains the k-modality coupled machine.
+///
+/// # Errors
+/// Propagates solver errors.
+///
+/// # Panics
+/// Panics on empty modality lists or misaligned sample counts.
+pub fn train_multi_coupled(
+    modalities: &[ModalityData],
+    y: &[f64],
+    y_init: &[f64],
+    cfg: &MultiCoupledConfig,
+) -> Result<MultiCoupledOutcome, SvmError> {
+    assert!(!modalities.is_empty(), "need at least one modality");
+    assert!(cfg.rho > 0.0 && cfg.rho_init > 0.0 && cfg.rho_init <= cfg.rho, "bad rho schedule");
+    let n_l = y.len();
+    let n_u = y_init.len();
+    for (m, data) in modalities.iter().enumerate() {
+        assert_eq!(data.labeled.len(), n_l, "modality {m} labeled count mismatch");
+        assert_eq!(data.unlabeled.len(), n_u, "modality {m} unlabeled count mismatch");
+        assert!(data.c > 0.0, "modality {m} penalty must be positive");
+    }
+
+    let mut y_prime = y_init.to_vec();
+    let mut report = TrainReport {
+        rho_steps: 0,
+        retrains: 0,
+        flips: 0,
+        correction_capped: false,
+        final_labels: Vec::new(),
+    };
+
+    // Concatenated per-modality sample arrays.
+    let all: Vec<Vec<Vec<f64>>> = modalities
+        .iter()
+        .map(|m| m.labeled.iter().chain(&m.unlabeled).cloned().collect())
+        .collect();
+
+    let train_all = |rho_star: f64,
+                     y_prime: &[f64],
+                     retrains: &mut usize|
+     -> Result<Vec<TrainedSvm<Vec<f64>, DenseKernel>>, SvmError> {
+        let mut labels = Vec::with_capacity(n_l + n_u);
+        labels.extend_from_slice(y);
+        labels.extend_from_slice(y_prime);
+        let mut out = Vec::with_capacity(modalities.len());
+        for (m, data) in modalities.iter().enumerate() {
+            let mut bounds = vec![data.c; n_l];
+            bounds.extend(std::iter::repeat(rho_star * data.c).take(n_u));
+            out.push(train(&all[m], &labels, &bounds, data.kernel, &cfg.smo)?);
+        }
+        *retrains += 1;
+        Ok(out)
+    };
+
+    let correction = |machines: &mut Vec<TrainedSvm<Vec<f64>, DenseKernel>>,
+                      y_prime: &mut Vec<f64>,
+                      report: &mut TrainReport,
+                      rho_star: f64|
+     -> Result<(), SvmError> {
+        for round in 0.. {
+            if round >= cfg.max_correction_rounds {
+                report.correction_capped = true;
+                break;
+            }
+            // Slack per modality per unlabeled point.
+            let slacks: Vec<Vec<f64>> = machines
+                .iter()
+                .zip(modalities)
+                .map(|(mach, data)| mach.slacks(&data.unlabeled, y_prime))
+                .collect();
+            let mut flipped = false;
+            for j in 0..n_u {
+                let all_positive = slacks.iter().all(|s| s[j] > 0.0);
+                let total: f64 = slacks.iter().map(|s| s[j]).sum();
+                if all_positive && total > cfg.delta {
+                    y_prime[j] = -y_prime[j];
+                    report.flips += 1;
+                    flipped = true;
+                }
+            }
+            if !flipped {
+                break;
+            }
+            *machines = train_all(rho_star, y_prime, &mut report.retrains)?;
+        }
+        Ok(())
+    };
+
+    if n_u == 0 {
+        let machines = train_all(cfg.rho, &y_prime, &mut report.retrains)?;
+        report.rho_steps = 1;
+        return Ok(MultiCoupledOutcome { machines, report });
+    }
+
+    let mut rho_star = cfg.rho_init.min(cfg.rho);
+    let mut machines = train_all(rho_star, &y_prime, &mut report.retrains)?;
+    correction(&mut machines, &mut y_prime, &mut report, rho_star)?;
+    report.rho_steps += 1;
+
+    while rho_star < cfg.rho {
+        rho_star = (2.0 * rho_star).min(cfg.rho);
+        if rho_star < cfg.rho || cfg.final_full_rho_pass {
+            machines = train_all(rho_star, &y_prime, &mut report.retrains)?;
+            correction(&mut machines, &mut y_prime, &mut report, rho_star)?;
+            report.rho_steps += 1;
+        }
+    }
+
+    report.final_labels = y_prime;
+    Ok(MultiCoupledOutcome { machines, report })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three views of the same two-cluster concept, with different scales
+    /// and one linear modality.
+    fn three_modality_problem() -> (Vec<ModalityData>, Vec<f64>, Vec<f64>) {
+        let y = vec![1.0, 1.0, -1.0, -1.0];
+        let mk = |scale: f64, kernel: DenseKernel| ModalityData {
+            labeled: vec![
+                vec![scale, scale * 0.9],
+                vec![scale * 1.1, scale],
+                vec![-scale, -scale * 0.9],
+                vec![-scale * 1.1, -scale],
+            ],
+            unlabeled: vec![vec![scale * 0.8, scale], vec![-scale, -scale * 1.2]],
+            kernel,
+            c: 10.0,
+        };
+        let modalities = vec![
+            mk(1.0, DenseKernel::Rbf { gamma: 0.5 }),
+            mk(3.0, DenseKernel::Rbf { gamma: 0.1 }),
+            mk(0.5, DenseKernel::Linear),
+        ];
+        (modalities, y, vec![1.0, -1.0])
+    }
+
+    #[test]
+    fn trains_k_machines_consistently() {
+        let (mods, y, y_init) = three_modality_problem();
+        let out =
+            train_multi_coupled(&mods, &y, &y_init, &MultiCoupledConfig::default()).unwrap();
+        assert_eq!(out.machines.len(), 3);
+        for (m, data) in out.machines.iter().zip(&mods) {
+            for (x, &label) in data.labeled.iter().zip(&y) {
+                assert!(m.model.decision(x) * label > 0.0);
+            }
+        }
+        // Coupled score sums all modalities.
+        let views: Vec<Vec<f64>> = mods.iter().map(|m| m.unlabeled[0].clone()).collect();
+        assert!(out.coupled_score(&views) > 0.0);
+    }
+
+    #[test]
+    fn two_modality_case_matches_pairwise_semantics() {
+        // With k = 2 the flip rule must equal Fig. 1's: initialize wrong,
+        // expect corrections.
+        let (mut mods, y, _) = three_modality_problem();
+        mods.truncate(2);
+        let cfg = MultiCoupledConfig { delta: 1.0, ..Default::default() };
+        let out = train_multi_coupled(&mods, &y, &[-1.0, 1.0], &cfg).unwrap();
+        assert_eq!(out.report.final_labels, vec![1.0, -1.0]);
+        assert!(out.report.flips >= 2);
+    }
+
+    #[test]
+    fn empty_unlabeled_pool_ok() {
+        let (mut mods, y, _) = three_modality_problem();
+        for m in &mut mods {
+            m.unlabeled.clear();
+        }
+        let out =
+            train_multi_coupled(&mods, &y, &[], &MultiCoupledConfig::default()).unwrap();
+        assert_eq!(out.report.rho_steps, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "labeled count mismatch")]
+    fn misaligned_modalities_panic() {
+        let (mut mods, y, y_init) = three_modality_problem();
+        mods[1].labeled.pop();
+        let _ = train_multi_coupled(&mods, &y, &y_init, &MultiCoupledConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "one view per modality")]
+    fn score_requires_all_views() {
+        let (mods, y, y_init) = three_modality_problem();
+        let out =
+            train_multi_coupled(&mods, &y, &y_init, &MultiCoupledConfig::default()).unwrap();
+        let _ = out.coupled_score(&[vec![0.0, 0.0]]);
+    }
+
+    #[test]
+    fn single_modality_reduces_to_plain_transductive_svm() {
+        let (mut mods, y, y_init) = three_modality_problem();
+        mods.truncate(1);
+        let out =
+            train_multi_coupled(&mods, &y, &y_init, &MultiCoupledConfig::default()).unwrap();
+        assert_eq!(out.machines.len(), 1);
+        for (x, &label) in mods[0].labeled.iter().zip(&y) {
+            assert!(out.machines[0].model.decision(x) * label > 0.0);
+        }
+    }
+}

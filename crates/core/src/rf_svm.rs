@@ -1,0 +1,161 @@
+//! The `RF-SVM` baseline: regular SVM relevance feedback on content only.
+//!
+//! "In a regular SVM based relevance feedback algorithm [Tong & Chang],
+//! only the low-level features of image content is considered" — train one
+//! SVM on the judged images' feature vectors and rank the database by the
+//! decision value.
+
+use crate::config::LrfConfig;
+use crate::feedback::{rank_by_scores, QueryContext, RelevanceFeedback};
+use lrf_svm::{train, RbfKernel, SvmModel, TrainedSvm};
+
+/// Content-only SVM relevance feedback.
+#[derive(Clone, Debug, Default)]
+pub struct RfSvm {
+    /// Shared configuration (only `coupled.c_content`, `coupled.smo`, and
+    /// `gamma_content` are read by this scheme).
+    pub config: LrfConfig,
+}
+
+impl RfSvm {
+    /// Creates the scheme with an explicit configuration.
+    pub fn new(config: LrfConfig) -> Self {
+        config.validate();
+        Self { config }
+    }
+
+    /// Trains the content SVM for one feedback round. Exposed for reuse by
+    /// the log-based schemes (this is exactly their content-side initial
+    /// model).
+    pub fn train_content_svm(
+        &self,
+        ctx: &QueryContext<'_>,
+    ) -> TrainedSvm<Vec<f64>, RbfKernel> {
+        let samples: Vec<Vec<f64>> = ctx
+            .example
+            .labeled
+            .iter()
+            .map(|&(id, _)| ctx.db.feature(id).clone())
+            .collect();
+        let labels: Vec<f64> = ctx.example.labeled.iter().map(|&(_, y)| y).collect();
+        let bounds = vec![self.config.coupled.c_content; samples.len()];
+        let gamma = self
+            .config
+            .gamma_content
+            .unwrap_or(1.0 / lrf_features::TOTAL_DIMS as f64);
+        train(&samples, &labels, &bounds, RbfKernel::new(gamma), &self.config.coupled.smo)
+            .expect("content SVM training cannot fail on validated feedback rounds")
+    }
+
+    /// Scores every database image under a content model.
+    pub fn score_all(db: &lrf_cbir::ImageDatabase, model: &SvmModel<Vec<f64>, RbfKernel>) -> Vec<f64> {
+        db.features().iter().map(|f| model.decision(f)).collect()
+    }
+}
+
+impl RelevanceFeedback for RfSvm {
+    fn name(&self) -> &'static str {
+        "RF-SVM"
+    }
+
+    fn rank(&self, ctx: &QueryContext<'_>) -> Vec<usize> {
+        let svm = self.train_content_svm(ctx);
+        rank_by_scores(&Self::score_all(ctx.db, &svm.model))
+    }
+
+    fn scores(&self, ctx: &QueryContext<'_>) -> Option<Vec<f64>> {
+        let svm = self.train_content_svm(ctx);
+        Some(Self::score_all(ctx.db, &svm.model))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrf_cbir::{collect_log, CorelDataset, CorelSpec, precision_at, QueryProtocol};
+    use lrf_logdb::SimulationConfig;
+
+    fn setup() -> (CorelDataset, lrf_logdb::LogStore) {
+        let ds = CorelDataset::build(CorelSpec::tiny(4, 10, 3));
+        let log = collect_log(
+            &ds.db,
+            &SimulationConfig { n_sessions: 8, judged_per_session: 6, rounds_per_query: 2, noise: 0.0, seed: 2 },
+        );
+        (ds, log)
+    }
+
+    #[test]
+    fn rank_is_a_permutation() {
+        let (ds, log) = setup();
+        let proto = QueryProtocol { n_queries: 1, n_labeled: 8, seed: 0 };
+        let example = proto.feedback_example(&ds.db, 0);
+        let ranked =
+            RfSvm::default().rank(&QueryContext { db: &ds.db, log: &log, example: &example });
+        let mut sorted = ranked.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..ds.db.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn labeled_positives_rank_above_labeled_negatives() {
+        let (ds, log) = setup();
+        let proto = QueryProtocol { n_queries: 1, n_labeled: 10, seed: 0 };
+        // Query near a category boundary gets mixed labels.
+        let example = (0..ds.db.len())
+            .map(|q| proto.feedback_example(&ds.db, q))
+            .find(|ex| {
+                let pos = ex.labeled.iter().filter(|&&(_, y)| y > 0.0).count();
+                pos >= 2 && pos <= ex.labeled.len() - 2
+            })
+            .expect("some query must have mixed feedback");
+        let ranked =
+            RfSvm::default().rank(&QueryContext { db: &ds.db, log: &log, example: &example });
+        let pos_mean: f64 = example
+            .labeled
+            .iter()
+            .filter(|&&(_, y)| y > 0.0)
+            .map(|&(id, _)| ranked.iter().position(|&r| r == id).unwrap() as f64)
+            .sum::<f64>()
+            / example.labeled.iter().filter(|&&(_, y)| y > 0.0).count() as f64;
+        let neg_mean: f64 = example
+            .labeled
+            .iter()
+            .filter(|&&(_, y)| y < 0.0)
+            .map(|&(id, _)| ranked.iter().position(|&r| r == id).unwrap() as f64)
+            .sum::<f64>()
+            / example.labeled.iter().filter(|&&(_, y)| y < 0.0).count() as f64;
+        assert!(
+            pos_mean < neg_mean,
+            "positives should rank earlier: pos {pos_mean} vs neg {neg_mean}"
+        );
+    }
+
+    #[test]
+    fn single_class_feedback_still_ranks() {
+        let (ds, log) = setup();
+        // Fabricate an all-relevant round.
+        let example = lrf_cbir::FeedbackExample {
+            query: 0,
+            labeled: vec![(0, 1.0), (1, 1.0), (2, 1.0)],
+        };
+        let ranked =
+            RfSvm::default().rank(&QueryContext { db: &ds.db, log: &log, example: &example });
+        assert_eq!(ranked.len(), ds.db.len());
+    }
+
+    #[test]
+    fn improves_over_random_on_average() {
+        let (ds, log) = setup();
+        let proto = QueryProtocol { n_queries: 6, n_labeled: 8, seed: 5 };
+        let scheme = RfSvm::default();
+        let mut total = 0.0;
+        let queries = proto.sample_queries(&ds.db);
+        for &q in &queries {
+            let example = proto.feedback_example(&ds.db, q);
+            let ranked = scheme.rank(&QueryContext { db: &ds.db, log: &log, example: &example });
+            total += precision_at(&ranked, |id| ds.db.same_category(id, q), 10);
+        }
+        let mean = total / queries.len() as f64;
+        assert!(mean > 0.25 + 0.1, "RF-SVM precision {mean} not above chance");
+    }
+}

@@ -1,0 +1,26 @@
+//! # lrf-features — low-level visual feature extraction
+//!
+//! Implements §6.2 of the paper ("Image Representation"): three descriptors
+//! concatenated into a 36-dimensional feature vector per image.
+//!
+//! | Descriptor | Dim | Module |
+//! |---|---|---|
+//! | HSV color moments (mean, std, skewness per channel) | 9 | [`color_moments`] |
+//! | Canny edge-direction histogram (18 bins × 20°) | 18 | [`edge_histogram`] |
+//! | Daubechies-4 wavelet entropy (3 levels × 3 orientations) | 9 | [`texture`] |
+//!
+//! [`extractor::FeatureExtractor`] runs the full pipeline;
+//! [`normalize::Normalizer`] applies the classical Gaussian (3σ)
+//! normalization across a database so no descriptor dominates Euclidean
+//! distances or the RBF kernel.
+
+pub mod color_moments;
+pub mod edge_histogram;
+pub mod extractor;
+pub mod normalize;
+pub mod texture;
+
+pub use extractor::{
+    FeatureExtractor, FeatureVector, COLOR_DIMS, EDGE_DIMS, TEXTURE_DIMS, TOTAL_DIMS,
+};
+pub use normalize::Normalizer;

@@ -1,0 +1,36 @@
+//! # lrf-logdb — the user feedback log database
+//!
+//! Section 2 of the paper organizes historical relevance feedback as a
+//! **relevance matrix** `R`: "each column corresponds to an image in the
+//! image database and each row represents a user log session in the log
+//! database. Each element r_{i,j} indicates the relevance judgement made
+//! about the i-th image during the j-th user log session ('+1' and '−1'
+//! for relevant and irrelevant, and '0' for unknown)."
+//!
+//! This crate is that database:
+//!
+//! * [`session::LogSession`] — one feedback round: the judged image ids and
+//!   their ±1 marks.
+//! * [`store::LogStore`] — the append-only session store, maintaining the
+//!   column-sparse view: per image, a sparse **log vector** `r_i` over
+//!   session ids. Dimension `M` = number of sessions grows as feedback is
+//!   collected, exactly as a deployed CBIR system would accumulate it.
+//! * [`sparse::SparseVector`] — the sparse vector type with the dot/norm
+//!   operations the log-side SVM kernel needs.
+//! * [`simulate`] — the **substitution for the paper's human log
+//!   collection** (150 sessions gathered from real users): simulated users
+//!   judge the top-20 of a content-based ranking by ground-truth category
+//!   with an injectable mislabel (noise) probability. See DESIGN.md §3.
+//! * [`persist`] — JSON round-tripping of the store (a real deployment
+//!   keeps its log database on disk).
+
+pub mod persist;
+pub mod session;
+pub mod simulate;
+pub mod sparse;
+pub mod store;
+
+pub use session::{LogSession, Relevance};
+pub use simulate::{simulate_sessions, SimulationConfig};
+pub use sparse::SparseVector;
+pub use store::LogStore;

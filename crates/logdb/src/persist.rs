@@ -1,0 +1,150 @@
+//! Log store persistence.
+//!
+//! A deployed CBIR system accumulates its feedback log across restarts, so
+//! the store must round-trip to disk. JSON keeps the artifact
+//! human-inspectable; the format is versioned so future layouts can evolve.
+
+use crate::store::LogStore;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Current on-disk format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+#[derive(Serialize, Deserialize)]
+struct Envelope {
+    version: u32,
+    store: LogStore,
+}
+
+/// Errors from loading/saving a log store.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file is not valid JSON for this schema.
+    Format(serde_json::Error),
+    /// The file's version field is not supported by this build.
+    UnsupportedVersion {
+        /// Version found in the file.
+        found: u32,
+    },
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "log store I/O error: {e}"),
+            PersistError::Format(e) => write!(f, "log store format error: {e}"),
+            PersistError::UnsupportedVersion { found } => {
+                write!(f, "log store version {found} unsupported (expected {FORMAT_VERSION})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Format(e) => Some(e),
+            PersistError::UnsupportedVersion { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Format(e)
+    }
+}
+
+/// Serializes the store to a JSON byte vector.
+pub fn to_json(store: &LogStore) -> Result<Vec<u8>, PersistError> {
+    Ok(serde_json::to_vec(&Envelope { version: FORMAT_VERSION, store: store.clone() })?)
+}
+
+/// Deserializes a store from JSON bytes.
+pub fn from_json(bytes: &[u8]) -> Result<LogStore, PersistError> {
+    let env: Envelope = serde_json::from_slice(bytes)?;
+    if env.version != FORMAT_VERSION {
+        return Err(PersistError::UnsupportedVersion { found: env.version });
+    }
+    Ok(env.store)
+}
+
+/// Saves the store to a file (overwrite).
+pub fn save(store: &LogStore, path: &Path) -> Result<(), PersistError> {
+    Ok(fs::write(path, to_json(store)?)?)
+}
+
+/// Loads a store from a file.
+pub fn load(path: &Path) -> Result<LogStore, PersistError> {
+    from_json(&fs::read(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::{LogSession, Relevance};
+
+    fn sample_store() -> LogStore {
+        let mut store = LogStore::new(8);
+        store.record(LogSession::new(vec![
+            (0, Relevance::Relevant),
+            (3, Relevance::Irrelevant),
+        ]));
+        store.record(LogSession::new(vec![
+            (3, Relevance::Relevant),
+            (7, Relevance::Relevant),
+        ]));
+        store
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_store() {
+        let store = sample_store();
+        let bytes = to_json(&store).unwrap();
+        let back = from_json(&bytes).unwrap();
+        assert_eq!(store, back);
+        assert_eq!(back.entry(3, 0), -1.0);
+        assert_eq!(back.entry(3, 1), 1.0);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("lrf_logdb_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.json");
+        let store = sample_store();
+        save(&store, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(store, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let store = sample_store();
+        let mut v: serde_json::Value =
+            serde_json::from_slice(&to_json(&store).unwrap()).unwrap();
+        v["version"] = serde_json::json!(99);
+        let err = from_json(serde_json::to_vec(&v).unwrap().as_slice()).unwrap_err();
+        assert!(matches!(err, PersistError::UnsupportedVersion { found: 99 }));
+    }
+
+    #[test]
+    fn garbage_is_a_format_error() {
+        let err = from_json(b"not json").unwrap_err();
+        assert!(matches!(err, PersistError::Format(_)));
+        assert!(err.to_string().contains("format"));
+    }
+}

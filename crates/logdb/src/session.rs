@@ -1,0 +1,131 @@
+//! Log sessions — the unit of collected feedback.
+//!
+//! "A typical relevance feedback round can be viewed as a unit of user log
+//! session. For each user log session, suppose there are N_l images
+//! returned to be judged by users, which are marked as relevant or
+//! irrelevant."
+
+use serde::{Deserialize, Serialize};
+
+/// A single relevance judgment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Relevance {
+    /// The user marked the image relevant (`+1` in the relevance matrix).
+    Relevant,
+    /// The user marked the image irrelevant (`−1`).
+    Irrelevant,
+}
+
+impl Relevance {
+    /// The matrix encoding: `+1.0` / `−1.0`.
+    pub fn sign(self) -> f64 {
+        match self {
+            Relevance::Relevant => 1.0,
+            Relevance::Irrelevant => -1.0,
+        }
+    }
+
+    /// Builds from a boolean "is relevant" judgment.
+    pub fn from_bool(relevant: bool) -> Self {
+        if relevant {
+            Relevance::Relevant
+        } else {
+            Relevance::Irrelevant
+        }
+    }
+}
+
+/// One feedback round: a set of judged images. Unjudged images are
+/// implicitly `0` ("unknown") in the relevance matrix.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LogSession {
+    /// `(image_id, judgment)` pairs; image ids are indices into the image
+    /// database that the store was created for.
+    judgments: Vec<(usize, Relevance)>,
+}
+
+impl LogSession {
+    /// Builds a session from judgments.
+    ///
+    /// # Panics
+    /// Panics if the same image is judged twice in one session (a session
+    /// is one screen of results; duplicates indicate a caller bug).
+    pub fn new(mut judgments: Vec<(usize, Relevance)>) -> Self {
+        judgments.sort_unstable_by_key(|&(id, _)| id);
+        for w in judgments.windows(2) {
+            assert!(w[0].0 != w[1].0, "image {} judged twice in one session", w[0].0);
+        }
+        Self { judgments }
+    }
+
+    /// Number of judged images (the paper's per-session `N_l`, 20 in its
+    /// collection protocol).
+    pub fn len(&self) -> usize {
+        self.judgments.len()
+    }
+
+    /// `true` when the session judged nothing.
+    pub fn is_empty(&self) -> bool {
+        self.judgments.is_empty()
+    }
+
+    /// Iterates `(image_id, judgment)` in image-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, Relevance)> + '_ {
+        self.judgments.iter().copied()
+    }
+
+    /// The judgment for `image_id`, if this session judged it.
+    pub fn judgment(&self, image_id: usize) -> Option<Relevance> {
+        self.judgments
+            .binary_search_by_key(&image_id, |&(id, _)| id)
+            .ok()
+            .map(|pos| self.judgments[pos].1)
+    }
+
+    /// Count of relevant marks.
+    pub fn n_relevant(&self) -> usize {
+        self.judgments.iter().filter(|&&(_, r)| r == Relevance::Relevant).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relevance_signs() {
+        assert_eq!(Relevance::Relevant.sign(), 1.0);
+        assert_eq!(Relevance::Irrelevant.sign(), -1.0);
+        assert_eq!(Relevance::from_bool(true), Relevance::Relevant);
+        assert_eq!(Relevance::from_bool(false), Relevance::Irrelevant);
+    }
+
+    #[test]
+    fn session_sorts_and_looks_up() {
+        let s = LogSession::new(vec![
+            (9, Relevance::Irrelevant),
+            (2, Relevance::Relevant),
+            (5, Relevance::Relevant),
+        ]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.n_relevant(), 2);
+        assert_eq!(s.judgment(2), Some(Relevance::Relevant));
+        assert_eq!(s.judgment(9), Some(Relevance::Irrelevant));
+        assert_eq!(s.judgment(4), None);
+        let ids: Vec<usize> = s.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![2, 5, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "judged twice")]
+    fn duplicate_judgment_rejected() {
+        let _ = LogSession::new(vec![(1, Relevance::Relevant), (1, Relevance::Irrelevant)]);
+    }
+
+    #[test]
+    fn empty_session_is_allowed() {
+        let s = LogSession::new(vec![]);
+        assert!(s.is_empty());
+        assert_eq!(s.n_relevant(), 0);
+    }
+}

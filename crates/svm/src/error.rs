@@ -1,0 +1,72 @@
+//! Error type for SVM training.
+
+use std::fmt;
+
+/// Errors reported by [`crate::train`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SvmError {
+    /// The training set is empty.
+    EmptyTrainingSet,
+    /// `samples`, `labels`, and `upper_bounds` have different lengths.
+    LengthMismatch {
+        /// Number of samples passed.
+        samples: usize,
+        /// Number of labels passed.
+        labels: usize,
+        /// Number of bounds passed.
+        bounds: usize,
+    },
+    /// A label was not `+1` or `-1`.
+    InvalidLabel {
+        /// Index of the offending label.
+        index: usize,
+    },
+    /// An upper bound was non-positive or non-finite.
+    InvalidBound {
+        /// Index of the offending bound.
+        index: usize,
+    },
+    /// A sample contained NaN/∞ (detected through the kernel diagonal).
+    NonFiniteKernel {
+        /// Row of the kernel matrix where the value appeared.
+        row: usize,
+        /// Column of the kernel matrix where the value appeared.
+        col: usize,
+    },
+}
+
+impl fmt::Display for SvmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SvmError::EmptyTrainingSet => write!(f, "training set is empty"),
+            SvmError::LengthMismatch { samples, labels, bounds } => write!(
+                f,
+                "length mismatch: {samples} samples, {labels} labels, {bounds} bounds"
+            ),
+            SvmError::InvalidLabel { index } => {
+                write!(f, "label at index {index} is not +1 or -1")
+            }
+            SvmError::InvalidBound { index } => {
+                write!(f, "upper bound at index {index} is not a positive finite number")
+            }
+            SvmError::NonFiniteKernel { row, col } => {
+                write!(f, "kernel value at ({row}, {col}) is not finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SvmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SvmError::LengthMismatch { samples: 3, labels: 2, bounds: 3 };
+        assert!(e.to_string().contains("3 samples"));
+        assert!(SvmError::EmptyTrainingSet.to_string().contains("empty"));
+        assert!(SvmError::InvalidLabel { index: 7 }.to_string().contains('7'));
+    }
+}

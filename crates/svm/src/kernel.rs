@@ -1,0 +1,234 @@
+//! Kernel functions.
+//!
+//! [`Kernel`] is generic over the sample type `S`: the retrieval stack runs
+//! the same SMO solver over dense 36-D visual features (`Vec<f64>`) and
+//! over sparse feedback-log vectors (a type owned by `lrf-core`, which
+//! implements this trait for it). All provided kernels satisfy Mercer's
+//! condition on their usual domains.
+
+use serde::{Deserialize, Serialize};
+
+/// A positive-semidefinite similarity function over samples of type `S`.
+pub trait Kernel<S: ?Sized> {
+    /// Evaluates `K(a, b)`.
+    fn compute(&self, a: &S, b: &S) -> f64;
+}
+
+/// Dot product of two dense vectors (panics on length mismatch in debug).
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Squared Euclidean distance of two dense vectors.
+#[inline]
+pub fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// The linear kernel `K(a, b) = aᵀb`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinearKernel;
+
+impl Kernel<Vec<f64>> for LinearKernel {
+    #[inline]
+    fn compute(&self, a: &Vec<f64>, b: &Vec<f64>) -> f64 {
+        dot(a, b)
+    }
+}
+
+/// The Gaussian RBF kernel `K(a, b) = exp(−γ‖a−b‖²)` — the kernel the
+/// paper uses for all compared schemes.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RbfKernel {
+    /// Width parameter γ.
+    pub gamma: f64,
+}
+
+impl RbfKernel {
+    /// Creates an RBF kernel.
+    ///
+    /// # Panics
+    /// Panics unless `gamma` is positive and finite.
+    pub fn new(gamma: f64) -> Self {
+        assert!(gamma > 0.0 && gamma.is_finite(), "gamma must be positive and finite");
+        Self { gamma }
+    }
+
+    /// LIBSVM's historical default `γ = 1 / num_features` — the paper does
+    /// not report its kernel parameters, so experiments use this default
+    /// (and sweep it in the ablation benches).
+    pub fn with_default_gamma(num_features: usize) -> Self {
+        Self::new(1.0 / num_features.max(1) as f64)
+    }
+}
+
+impl Kernel<Vec<f64>> for RbfKernel {
+    #[inline]
+    fn compute(&self, a: &Vec<f64>, b: &Vec<f64>) -> f64 {
+        (-self.gamma * squared_distance(a, b)).exp()
+    }
+}
+
+/// The polynomial kernel `K(a, b) = (γ·aᵀb + c₀)^d`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PolyKernel {
+    /// Scale applied to the inner product.
+    pub gamma: f64,
+    /// Additive constant.
+    pub coef0: f64,
+    /// Polynomial degree.
+    pub degree: u32,
+}
+
+impl PolyKernel {
+    /// Creates a polynomial kernel.
+    ///
+    /// # Panics
+    /// Panics unless `gamma > 0`, `coef0 >= 0` (Mercer condition), and
+    /// `degree >= 1`.
+    pub fn new(gamma: f64, coef0: f64, degree: u32) -> Self {
+        assert!(gamma > 0.0 && gamma.is_finite(), "gamma must be positive");
+        assert!(coef0 >= 0.0, "coef0 must be nonnegative for a valid Mercer kernel");
+        assert!(degree >= 1, "degree must be at least 1");
+        Self { gamma, coef0, degree }
+    }
+}
+
+impl Kernel<Vec<f64>> for PolyKernel {
+    #[inline]
+    fn compute(&self, a: &Vec<f64>, b: &Vec<f64>) -> f64 {
+        (self.gamma * dot(a, b) + self.coef0).powi(self.degree as i32)
+    }
+}
+
+/// Precomputes the dense Gram matrix `K_ij` for a sample set.
+///
+/// Solver-internal; problems in this workspace are small (tens to a few
+/// hundred points), so a full dense matrix is both the fastest and the
+/// simplest correct choice.
+pub fn gram_matrix<S, K: Kernel<S>>(kernel: &K, samples: &[S]) -> Vec<Vec<f64>> {
+    let n = samples.len();
+    let mut m = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in 0..=i {
+            let v = kernel.compute(&samples[i], &samples[j]);
+            m[i][j] = v;
+            m[j][i] = v;
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn linear_kernel_is_dot_product() {
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![4.0, -5.0, 6.0];
+        assert_eq!(LinearKernel.compute(&a, &b), 4.0 - 10.0 + 18.0);
+    }
+
+    #[test]
+    fn rbf_diagonal_is_one_and_decays() {
+        let k = RbfKernel::new(0.5);
+        let a = vec![1.0, 2.0];
+        let b = vec![1.0, 2.0];
+        assert!((k.compute(&a, &b) - 1.0).abs() < 1e-12);
+        let far = vec![100.0, -30.0];
+        assert!(k.compute(&a, &far) < 1e-10);
+    }
+
+    #[test]
+    fn rbf_default_gamma_is_reciprocal_dims() {
+        let k = RbfKernel::with_default_gamma(36);
+        assert!((k.gamma - 1.0 / 36.0).abs() < 1e-15);
+        // guard against division by zero
+        let k0 = RbfKernel::with_default_gamma(0);
+        assert_eq!(k0.gamma, 1.0);
+    }
+
+    #[test]
+    fn poly_kernel_matches_formula() {
+        let k = PolyKernel::new(1.0, 1.0, 2);
+        let a = vec![1.0, 0.0];
+        let b = vec![2.0, 0.0];
+        assert_eq!(k.compute(&a, &b), 9.0); // (2 + 1)^2
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma")]
+    fn rbf_rejects_nonpositive_gamma() {
+        let _ = RbfKernel::new(0.0);
+    }
+
+    #[test]
+    fn gram_matrix_is_symmetric_with_unit_diagonal_for_rbf() {
+        let samples: Vec<Vec<f64>> =
+            vec![vec![0.0, 1.0], vec![2.0, -1.0], vec![0.5, 0.5], vec![3.0, 3.0]];
+        let g = gram_matrix(&RbfKernel::new(0.3), &samples);
+        for i in 0..4 {
+            assert!((g[i][i] - 1.0).abs() < 1e-12);
+            for j in 0..4 {
+                assert_eq!(g[i][j], g[j][i]);
+            }
+        }
+    }
+
+    proptest! {
+        /// Cauchy–Schwarz for the linear kernel: K(a,b)² ≤ K(a,a)·K(b,b).
+        #[test]
+        fn linear_cauchy_schwarz(
+            a in proptest::collection::vec(-10.0f64..10.0, 4),
+            b in proptest::collection::vec(-10.0f64..10.0, 4),
+        ) {
+            let k = LinearKernel;
+            let kab = k.compute(&a, &b);
+            let kaa = k.compute(&a, &a);
+            let kbb = k.compute(&b, &b);
+            prop_assert!(kab * kab <= kaa * kbb + 1e-9);
+        }
+
+        /// RBF values always lie in [0, 1] (0 only via f64 underflow for
+        /// extremely distant points).
+        #[test]
+        fn rbf_bounded(
+            a in proptest::collection::vec(-10.0f64..10.0, 3),
+            b in proptest::collection::vec(-10.0f64..10.0, 3),
+            gamma in 0.01f64..5.0,
+        ) {
+            let v = RbfKernel::new(gamma).compute(&a, &b);
+            prop_assert!(v >= 0.0 && v <= 1.0 + 1e-12);
+        }
+
+        /// The RBF Gram matrix is positive semidefinite: zᵀGz ≥ 0. We check
+        /// with random z over random small sample sets.
+        #[test]
+        fn rbf_gram_psd(
+            flat in proptest::collection::vec(-3.0f64..3.0, 12),
+            z in proptest::collection::vec(-1.0f64..1.0, 4),
+            gamma in 0.05f64..2.0,
+        ) {
+            let samples: Vec<Vec<f64>> = flat.chunks(3).map(|c| c.to_vec()).collect();
+            let g = gram_matrix(&RbfKernel::new(gamma), &samples);
+            let mut quad = 0.0;
+            for i in 0..4 {
+                for j in 0..4 {
+                    quad += z[i] * g[i][j] * z[j];
+                }
+            }
+            prop_assert!(quad >= -1e-9, "quadratic form {quad}");
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! # lrf-svm — support vector machine substrate
+//!
+//! The paper implements its coupled SVM "by modifying the LIBSVM library";
+//! the modification it needs is a per-sample penalty: labeled points get
+//! `C`, unlabeled points get `ρ*·C` (Eq. 2/3). This crate is that solver,
+//! built from scratch:
+//!
+//! * [`kernel`] — the [`Kernel`] trait plus dense linear / RBF / polynomial
+//!   kernels. The trait is generic over the sample type so downstream
+//!   crates can run the same solver over sparse feedback-log vectors.
+//! * [`smo`] — the C-SVC dual solved by Sequential Minimal Optimization
+//!   with LIBSVM's second-order working-set selection, supporting an
+//!   individual upper bound `C_i` per sample.
+//! * [`model`] — the trained decision function, slack extraction (needed by
+//!   the coupled SVM's label-correction loop), and degenerate single-class
+//!   handling (a feedback round can return only positives).
+//!
+//! ## The optimization problem
+//!
+//! Given samples `x_i`, labels `y_i ∈ {±1}` and bounds `C_i > 0`, the dual
+//! is
+//!
+//! ```text
+//! min_α  ½ αᵀQα − eᵀα    s.t.  yᵀα = 0,  0 ≤ α_i ≤ C_i
+//! ```
+//!
+//! with `Q_ij = y_i y_j K(x_i, x_j)`. Optimality is certified by the KKT
+//! violation `m(α) − M(α) ≤ ε` (see [`smo`]); the property-test suite
+//! re-checks the KKT conditions independently of the solver.
+//!
+//! ## Example
+//!
+//! ```
+//! use lrf_svm::{train, RbfKernel, SmoParams};
+//!
+//! let samples: Vec<Vec<f64>> = vec![
+//!     vec![0.0, 0.0], vec![0.1, 0.1], // negatives
+//!     vec![1.0, 1.0], vec![0.9, 1.1], // positives
+//! ];
+//! let labels = [-1.0, -1.0, 1.0, 1.0];
+//! let c = [10.0; 4];
+//! let svm = train(&samples, &labels, &c, RbfKernel::new(0.5), &SmoParams::default()).unwrap();
+//! assert!(svm.model.decision(&samples[3]) > 0.0);
+//! assert!(svm.model.decision(&samples[0]) < 0.0);
+//! ```
+
+pub mod error;
+pub mod kernel;
+pub mod model;
+pub mod smo;
+
+pub use error::SvmError;
+pub use kernel::{Kernel, LinearKernel, PolyKernel, RbfKernel};
+pub use model::{ModelKind, SvmModel, TrainedSvm};
+pub use smo::{train, SmoParams, SolveStats};

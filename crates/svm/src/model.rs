@@ -1,0 +1,193 @@
+//! Trained SVM models: decision function, margins, slack extraction.
+
+use crate::kernel::Kernel;
+use crate::smo::SolveStats;
+use serde::{Deserialize, Serialize};
+
+/// How a model was produced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// A genuine max-margin solution over two classes.
+    Trained,
+    /// Degenerate single-class input: the decision function is the constant
+    /// class sign (`±1`). Relevance-feedback rounds where the user marks
+    /// everything relevant (or everything irrelevant) produce this.
+    Constant,
+}
+
+/// A trained (or degenerate-constant) SVM decision function
+/// `f(x) = Σ_i coef_i · K(sv_i, x) + b`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SvmModel<S, K> {
+    kernel: K,
+    support_vectors: Vec<S>,
+    /// `α_i · y_i` per support vector.
+    coefficients: Vec<f64>,
+    bias: f64,
+    kind: ModelKind,
+}
+
+impl<S, K: Kernel<S>> SvmModel<S, K> {
+    /// Builds a model from solver output (`bias = −ρ` in LIBSVM terms).
+    pub(crate) fn new(kernel: K, support_vectors: Vec<S>, coefficients: Vec<f64>, bias: f64) -> Self {
+        debug_assert_eq!(support_vectors.len(), coefficients.len());
+        Self { kernel, support_vectors, coefficients, bias, kind: ModelKind::Trained }
+    }
+
+    /// Builds a constant-decision model for single-class training sets.
+    pub(crate) fn constant(kernel: K, sign: f64) -> Self {
+        debug_assert!(sign == 1.0 || sign == -1.0);
+        Self {
+            kernel,
+            support_vectors: Vec::new(),
+            coefficients: Vec::new(),
+            bias: sign,
+            kind: ModelKind::Constant,
+        }
+    }
+
+    /// The decision value `f(x)`; the predicted class is its sign, the
+    /// magnitude is the (unnormalized) distance from the separating
+    /// hyperplane — the quantity the paper calls `SVM_Dist`.
+    pub fn decision(&self, x: &S) -> f64 {
+        let mut f = self.bias;
+        for (sv, &coef) in self.support_vectors.iter().zip(&self.coefficients) {
+            f += coef * self.kernel.compute(sv, x);
+        }
+        f
+    }
+
+    /// Predicted label (`+1.0` / `-1.0`); ties break positive.
+    pub fn predict(&self, x: &S) -> f64 {
+        if self.decision(x) >= 0.0 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// Hinge slack `ξ = max(0, 1 − y·f(x))` — the quantity the coupled
+    /// SVM's label-correction loop thresholds against `Δ`.
+    pub fn hinge_slack(&self, x: &S, y: f64) -> f64 {
+        (1.0 - y * self.decision(x)).max(0.0)
+    }
+
+    /// Bias term `b`.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+
+    /// Number of support vectors (0 for constant models).
+    pub fn n_support(&self) -> usize {
+        self.support_vectors.len()
+    }
+
+    /// Support vectors retained by the model.
+    pub fn support_vectors(&self) -> &[S] {
+        &self.support_vectors
+    }
+
+    /// `α_i y_i` coefficients aligned with [`Self::support_vectors`].
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// Whether this is a genuine trained model or a degenerate constant.
+    pub fn kind(&self) -> ModelKind {
+        self.kind
+    }
+
+    /// Borrow the kernel (e.g. to evaluate it elsewhere with identical
+    /// parameters).
+    pub fn kernel(&self) -> &K {
+        &self.kernel
+    }
+}
+
+/// Bundle returned by [`crate::train`]: the model plus the full dual
+/// solution and solver statistics.
+#[derive(Clone, Debug)]
+pub struct TrainedSvm<S, K> {
+    /// The decision model.
+    pub model: SvmModel<S, K>,
+    /// The complete dual vector `α` over the training set (including
+    /// non-support zeros) — used by tests and diagnostics.
+    pub alpha: Vec<f64>,
+    /// Solver diagnostics.
+    pub stats: SolveStats,
+}
+
+impl<S, K: Kernel<S>> TrainedSvm<S, K> {
+    /// Hinge slacks of a labeled set under this model:
+    /// `ξ_i = max(0, 1 − y_i f(x_i))`. The coupled SVM calls this on its
+    /// unlabeled pool after each inner round.
+    pub fn slacks(&self, samples: &[S], labels: &[f64]) -> Vec<f64> {
+        assert_eq!(samples.len(), labels.len());
+        samples
+            .iter()
+            .zip(labels)
+            .map(|(x, &y)| self.model.hinge_slack(x, y))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::LinearKernel;
+    use crate::smo::{train, SmoParams};
+
+    fn simple_model() -> SvmModel<Vec<f64>, LinearKernel> {
+        // f(x) = 1·K([1], x) − 1·K([−1], x) + 0 = 2x for linear kernel.
+        SvmModel::new(LinearKernel, vec![vec![1.0], vec![-1.0]], vec![1.0, -1.0], 0.0)
+    }
+
+    #[test]
+    fn decision_is_linear_combination() {
+        let m = simple_model();
+        assert_eq!(m.decision(&vec![0.5]), 1.0);
+        assert_eq!(m.decision(&vec![-2.0]), -4.0);
+    }
+
+    #[test]
+    fn predict_sign_and_tie_break() {
+        let m = simple_model();
+        assert_eq!(m.predict(&vec![3.0]), 1.0);
+        assert_eq!(m.predict(&vec![-3.0]), -1.0);
+        assert_eq!(m.predict(&vec![0.0]), 1.0); // tie → positive
+    }
+
+    #[test]
+    fn hinge_slack_formula() {
+        let m = simple_model(); // f(x) = 2x
+        // y=+1, f=2·0.25=0.5 → slack 0.5
+        assert!((m.hinge_slack(&vec![0.25], 1.0) - 0.5).abs() < 1e-12);
+        // y=+1, f=4 → no slack
+        assert_eq!(m.hinge_slack(&vec![2.0], 1.0), 0.0);
+        // y=−1, f=4 → slack 5
+        assert!((m.hinge_slack(&vec![2.0], -1.0) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_model_reports_kind_and_value() {
+        let m: SvmModel<Vec<f64>, LinearKernel> = SvmModel::constant(LinearKernel, -1.0);
+        assert_eq!(m.kind(), ModelKind::Constant);
+        assert_eq!(m.n_support(), 0);
+        assert_eq!(m.decision(&vec![99.0]), -1.0);
+        assert_eq!(m.predict(&vec![99.0]), -1.0);
+        // slack of a "positive" sample under the constant −1 model is 2
+        assert_eq!(m.hinge_slack(&vec![0.0], 1.0), 2.0);
+    }
+
+    #[test]
+    fn slacks_align_with_samples() {
+        let samples = vec![vec![-1.0], vec![1.0]];
+        let labels = [-1.0, 1.0];
+        let svm = train(&samples, &labels, &[10.0, 10.0], LinearKernel, &SmoParams::default())
+            .unwrap();
+        let slacks = svm.slacks(&samples, &labels);
+        assert_eq!(slacks.len(), 2);
+        // Separable with margin exactly 1 → slacks ~ 0.
+        assert!(slacks.iter().all(|&s| s < 1e-6), "{slacks:?}");
+    }
+}

@@ -1,0 +1,18 @@
+//! # corelog — facade crate
+//!
+//! Re-exports the public API of the LRF-CSVM reproduction workspace. See the
+//! individual crates for detail:
+//!
+//! * [`imaging`] — image substrate (synthetic COREL, Canny, wavelets).
+//! * [`features`] — 36-D low-level visual descriptors.
+//! * [`svm`] — the SMO-based SVM solver.
+//! * [`logdb`] — user-feedback log store and simulation.
+//! * [`cbir`] — retrieval engine and evaluation protocol.
+//! * [`core`] — coupled SVM, LRF-CSVM, and baselines.
+
+pub use lrf_cbir as cbir;
+pub use lrf_core as core;
+pub use lrf_features as features;
+pub use lrf_imaging as imaging;
+pub use lrf_logdb as logdb;
+pub use lrf_svm as svm;
