@@ -1,0 +1,112 @@
+//! ANN backend shoot-out: recall@20 vs. queries/sec across collection
+//! sizes.
+//!
+//! For each `N ∈ {2k, 20k, 200k}` synthetic 36-D images (clustered, like
+//! real feature corpora), this bench prints each backend's recall@20
+//! against exact search and times a single query. The flat scan is the
+//! exact baseline; IVF and LSH should hold recall ≥ ~0.9 while doing a
+//! fraction of its distance work — the gap widens with `N`, which is the
+//! whole argument for the index subsystem.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lrf_index::{AnnIndex, FlatIndex, IvfConfig, IvfIndex, LshConfig, LshIndex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+const DIM: usize = 36;
+const K: usize = 20;
+const N_QUERIES: usize = 32;
+
+/// Clustered synthetic features: cluster centers in [-1,1]^dim with ±0.12
+/// jitter (roughly the spread of the synthetic COREL corpus after
+/// normalization).
+fn clustered(n: usize, seed: u64) -> Vec<f64> {
+    let n_clusters = (n as f64).sqrt() as usize;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<f64> = (0..n_clusters * DIM)
+        .map(|_| rng.gen_range(-1.0f64..1.0))
+        .collect();
+    let mut data = Vec::with_capacity(n * DIM);
+    for i in 0..n {
+        let c = i % n_clusters;
+        for d in 0..DIM {
+            data.push(centers[c * DIM + d] + rng.gen_range(-0.12..0.12));
+        }
+    }
+    data
+}
+
+fn queries(data: &[f64], n: usize) -> Vec<Vec<f64>> {
+    (0..N_QUERIES)
+        .map(|q| {
+            let id = (q * 8117) % n;
+            data[id * DIM..(id + 1) * DIM].to_vec()
+        })
+        .collect()
+}
+
+fn report_recall(name: &str, n: usize, index: &dyn AnnIndex, flat: &FlatIndex, qs: &[Vec<f64>]) {
+    let mut total_recall = 0.0;
+    let mut total_evals = 0usize;
+    for q in qs {
+        let exact = flat.search(q, K);
+        let (approx, stats) = index.search_with_stats(q, K);
+        total_recall += lrf_index::recall(&exact, &approx);
+        total_evals += stats.distance_evals;
+    }
+    println!(
+        "ann_index/n={n} {name}: recall@{K} = {:.3}, mean distance evals = {} ({:.1}% of N)",
+        total_recall / qs.len() as f64,
+        total_evals / qs.len(),
+        100.0 * total_evals as f64 / (qs.len() * n) as f64,
+    );
+}
+
+fn bench_backends(c: &mut Criterion) {
+    for &n in &[2_000usize, 20_000, 200_000] {
+        let data = clustered(n, 0xA11_5EED ^ n as u64);
+        let flat = FlatIndex::build(&data, DIM);
+        let ivf = IvfIndex::build(
+            &data,
+            DIM,
+            &IvfConfig {
+                nlist: (n as f64).sqrt() as usize,
+                nprobe: ((n as f64).sqrt() as usize / 8).max(4),
+                max_iters: 8,
+                ..Default::default()
+            },
+        );
+        let lsh = LshIndex::build(
+            &data,
+            DIM,
+            &LshConfig {
+                n_tables: 10,
+                n_bits: ((n as f64).log2() as usize).saturating_sub(4).clamp(8, 20),
+                probes: 8,
+                ..Default::default()
+            },
+        );
+        let qs = queries(&data, n);
+
+        report_recall("ivf", n, &ivf, &flat, &qs);
+        report_recall("lsh", n, &lsh, &flat, &qs);
+
+        let mut group = c.benchmark_group(format!("ann_search/n={n}"));
+        group.sample_size(10);
+        let backends: [(&str, &dyn AnnIndex); 3] = [("flat", &flat), ("ivf", &ivf), ("lsh", &lsh)];
+        for (name, index) in backends {
+            group.bench_with_input(BenchmarkId::new(name, n), &qs, |b, qs| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    i = (i + 1) % qs.len();
+                    black_box(index.search(black_box(&qs[i]), K))
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

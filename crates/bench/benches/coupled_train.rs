@@ -14,17 +14,32 @@ fn round_shape(
     n_l: usize,
     n_u: usize,
     seed: u64,
-) -> (Vec<Vec<f64>>, Vec<SparseVector>, Vec<f64>, Vec<Vec<f64>>, Vec<SparseVector>, Vec<f64>) {
+) -> (
+    Vec<Vec<f64>>,
+    Vec<SparseVector>,
+    Vec<f64>,
+    Vec<Vec<f64>>,
+    Vec<SparseVector>,
+    Vec<f64>,
+) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut mk_x = |y: f64| -> Vec<f64> {
-        (0..36).map(|_| y * 0.3 + rng.gen_range(-1.0..1.0)).collect()
+        (0..36)
+            .map(|_| y * 0.3 + rng.gen_range(-1.0..1.0))
+            .collect()
     };
-    let labeled_x: Vec<Vec<f64>> =
-        (0..n_l).map(|i| mk_x(if i % 2 == 0 { 1.0 } else { -1.0 })).collect();
-    let y: Vec<f64> = (0..n_l).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
-    let unl_x: Vec<Vec<f64>> =
-        (0..n_u).map(|i| mk_x(if i % 2 == 0 { 1.0 } else { -1.0 })).collect();
-    let y_init: Vec<f64> = (0..n_u).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+    let labeled_x: Vec<Vec<f64>> = (0..n_l)
+        .map(|i| mk_x(if i % 2 == 0 { 1.0 } else { -1.0 }))
+        .collect();
+    let y: Vec<f64> = (0..n_l)
+        .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+        .collect();
+    let unl_x: Vec<Vec<f64>> = (0..n_u)
+        .map(|i| mk_x(if i % 2 == 0 { 1.0 } else { -1.0 }))
+        .collect();
+    let y_init: Vec<f64> = (0..n_u)
+        .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+        .collect();
 
     let mut rng2 = StdRng::seed_from_u64(seed ^ 0xff);
     let mut mk_r = |y: f64| -> SparseVector {
@@ -38,10 +53,12 @@ fn round_shape(
         }
         SparseVector::from_entries(entries)
     };
-    let labeled_r: Vec<SparseVector> =
-        (0..n_l).map(|i| mk_r(if i % 2 == 0 { 1.0 } else { -1.0 })).collect();
-    let unl_r: Vec<SparseVector> =
-        (0..n_u).map(|i| mk_r(if i % 2 == 0 { 1.0 } else { -1.0 })).collect();
+    let labeled_r: Vec<SparseVector> = (0..n_l)
+        .map(|i| mk_r(if i % 2 == 0 { 1.0 } else { -1.0 }))
+        .collect();
+    let unl_r: Vec<SparseVector> = (0..n_u)
+        .map(|i| mk_r(if i % 2 == 0 { 1.0 } else { -1.0 }))
+        .collect();
 
     (labeled_x, labeled_r, y, unl_x, unl_r, y_init)
 }
@@ -79,7 +96,11 @@ fn bench_annealing_schedules(c: &mut Criterion) {
     for &(label, rho_init) in &[("1e-4_paper", 1e-4), ("1e-2", 1e-2), ("0.25", 0.25)] {
         // Fixed final rho = 0.5 so the sweep isolates the schedule depth
         // (rho_init must not exceed rho).
-        let cfg = CoupledConfig { rho_init, rho: 0.5, ..Default::default() };
+        let cfg = CoupledConfig {
+            rho_init,
+            rho: 0.5,
+            ..Default::default()
+        };
         group.bench_function(label, |b| {
             b.iter(|| {
                 let out = train_coupled(

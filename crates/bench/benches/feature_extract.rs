@@ -21,7 +21,12 @@ fn bench_stages(c: &mut Criterion) {
         b.iter(|| black_box(color_moments(black_box(&img))))
     });
     c.bench_function("features/edge_histogram_64", |b| {
-        b.iter(|| black_box(edge_direction_histogram(black_box(&gray), CannyParams::default())))
+        b.iter(|| {
+            black_box(edge_direction_histogram(
+                black_box(&gray),
+                CannyParams::default(),
+            ))
+        })
     });
     c.bench_function("features/wavelet_texture_64", |b| {
         b.iter(|| black_box(wavelet_texture(black_box(&gray))))

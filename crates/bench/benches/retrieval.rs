@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use lrf_cbir::{collect_log, CorelDataset, CorelSpec, QueryProtocol};
 use lrf_core::{
-    EuclideanScheme, Lrf2Svms, LrfCsvm, LrfConfig, QueryContext, RelevanceFeedback, RfSvm,
+    EuclideanScheme, Lrf2Svms, LrfConfig, LrfCsvm, QueryContext, RelevanceFeedback, RfSvm,
 };
 use lrf_logdb::SimulationConfig;
 use std::hint::black_box;
@@ -16,11 +16,25 @@ fn bench_schemes(c: &mut Criterion) {
     let ds = CorelDataset::build(CorelSpec::tiny(10, 50, 77));
     let log = collect_log(
         &ds.db,
-        &SimulationConfig { n_sessions: 80, judged_per_session: 20, rounds_per_query: 3, noise: 0.1, seed: 3 },
+        &SimulationConfig {
+            n_sessions: 80,
+            judged_per_session: 20,
+            rounds_per_query: 3,
+            noise: 0.1,
+            seed: 3,
+        },
     );
-    let protocol = QueryProtocol { n_queries: 1, n_labeled: 20, seed: 1 };
+    let protocol = QueryProtocol {
+        n_queries: 1,
+        n_labeled: 20,
+        seed: 1,
+    };
     let example = protocol.feedback_example(&ds.db, 123);
-    let ctx = QueryContext { db: &ds.db, log: &log, example: &example };
+    let ctx = QueryContext {
+        db: &ds.db,
+        log: &log,
+        example: &example,
+    };
 
     let config = LrfConfig::default();
     let mut group = c.benchmark_group("retrieval_500img");
@@ -31,9 +45,13 @@ fn bench_schemes(c: &mut Criterion) {
     let rf = RfSvm::new(config);
     group.bench_function("rf_svm", |b| b.iter(|| black_box(rf.rank(black_box(&ctx)))));
     let two = Lrf2Svms::new(config);
-    group.bench_function("lrf_2svms", |b| b.iter(|| black_box(two.rank(black_box(&ctx)))));
+    group.bench_function("lrf_2svms", |b| {
+        b.iter(|| black_box(two.rank(black_box(&ctx))))
+    });
     let csvm = LrfCsvm::new(config);
-    group.bench_function("lrf_csvm", |b| b.iter(|| black_box(csvm.rank(black_box(&ctx)))));
+    group.bench_function("lrf_csvm", |b| {
+        b.iter(|| black_box(csvm.rank(black_box(&ctx))))
+    });
     group.finish();
 }
 

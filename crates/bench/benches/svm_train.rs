@@ -17,7 +17,11 @@ fn gaussian_problem(n: usize, dims: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64
     for i in 0..n {
         let y = if i % 2 == 0 { 1.0 } else { -1.0 };
         let center = y * 0.5;
-        samples.push((0..dims).map(|_| center + rng.gen_range(-1.0..1.0)).collect());
+        samples.push(
+            (0..dims)
+                .map(|_| center + rng.gen_range(-1.0..1.0))
+                .collect(),
+        );
         labels.push(y);
     }
     (samples, labels)

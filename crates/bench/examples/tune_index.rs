@@ -1,0 +1,156 @@
+//! Tuning sweep for the approximate index backends.
+//!
+//! Sweeps IVF's `nprobe` and LSH's `(n_tables, probes)` on a clustered
+//! synthetic corpus, printing recall@20, mean distance evaluations, and
+//! mean query latency per setting — the table an operator reads to pick
+//! the cheapest configuration that clears their recall target.
+//!
+//! ```text
+//! cargo run -p lrf-bench --release --example tune_index [-- N]
+//! ```
+
+use lrf_index::{AnnIndex, FlatIndex, IvfConfig, IvfIndex, LshConfig, LshIndex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+const DIM: usize = 36;
+const K: usize = 20;
+const N_QUERIES: usize = 64;
+
+fn clustered(n: usize, seed: u64) -> Vec<f64> {
+    let n_clusters = (n as f64).sqrt() as usize;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<f64> = (0..n_clusters * DIM)
+        .map(|_| rng.gen_range(-1.0f64..1.0))
+        .collect();
+    let mut data = Vec::with_capacity(n * DIM);
+    for i in 0..n {
+        let c = i % n_clusters;
+        for d in 0..DIM {
+            data.push(centers[c * DIM + d] + rng.gen_range(-0.12..0.12));
+        }
+    }
+    data
+}
+
+struct Row {
+    setting: String,
+    recall: f64,
+    evals: usize,
+    micros: f64,
+}
+
+fn measure(setting: String, index: &dyn AnnIndex, flat: &FlatIndex, queries: &[Vec<f64>]) -> Row {
+    let exact: Vec<_> = queries.iter().map(|q| flat.search(q, K)).collect();
+    let mut recall = 0.0;
+    let mut evals = 0usize;
+    let started = Instant::now();
+    for (q, exact) in queries.iter().zip(&exact) {
+        let (approx, stats) = index.search_with_stats(q, K);
+        recall += lrf_index::recall(exact, &approx);
+        evals += stats.distance_evals;
+    }
+    let elapsed = started.elapsed();
+    Row {
+        setting,
+        recall: recall / queries.len() as f64,
+        evals: evals / queries.len(),
+        micros: elapsed.as_secs_f64() * 1e6 / queries.len() as f64,
+    }
+}
+
+fn print_table(title: &str, rows: &[Row]) {
+    println!("\n{title}");
+    println!(
+        "{:<28} {:>9} {:>12} {:>12}",
+        "setting", "recall@20", "dist evals", "µs/query"
+    );
+    for r in rows {
+        println!(
+            "{:<28} {:>9.3} {:>12} {:>12.1}",
+            r.setting, r.recall, r.evals, r.micros
+        );
+    }
+}
+
+fn main() {
+    let n: usize = match std::env::args().nth(1) {
+        None => 20_000,
+        Some(arg) => match arg.parse() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("error: N must be a positive integer, got {arg:?}");
+                std::process::exit(2);
+            }
+        },
+    };
+    println!("tuning over N = {n} synthetic {DIM}-D images, {N_QUERIES} queries");
+
+    let data = clustered(n, 0x7u64);
+    let flat = FlatIndex::build(&data, DIM);
+    let queries: Vec<Vec<f64>> = (0..N_QUERIES)
+        .map(|q| {
+            let id = (q * 4099) % n;
+            data[id * DIM..(id + 1) * DIM].to_vec()
+        })
+        .collect();
+
+    // Exact baseline for the latency column.
+    let baseline = measure("flat (exact)".into(), &flat, &flat, &queries);
+    print_table("baseline", &[baseline]);
+
+    // --- IVF: sweep nprobe at a fixed √N cell count. ---
+    let nlist = (n as f64).sqrt() as usize;
+    let ivf = IvfIndex::build(
+        &data,
+        DIM,
+        &IvfConfig {
+            nlist,
+            nprobe: 1,
+            max_iters: 10,
+            ..Default::default()
+        },
+    );
+    let rows: Vec<Row> = [1usize, 2, 4, 8, 16, 32]
+        .iter()
+        .map(|&nprobe| {
+            let mut tuned = ivf.clone();
+            tuned.set_nprobe(nprobe);
+            measure(
+                format!("ivf nlist={nlist} nprobe={nprobe}"),
+                &tuned,
+                &flat,
+                &queries,
+            )
+        })
+        .collect();
+    print_table("IVF (nprobe sweep)", &rows);
+
+    // --- LSH: sweep tables × probes. ---
+    let n_bits = ((n as f64).log2() as usize).saturating_sub(4).clamp(8, 20);
+    let mut rows = Vec::new();
+    for n_tables in [2usize, 4, 8, 16] {
+        let lsh = LshIndex::build(
+            &data,
+            DIM,
+            &LshConfig {
+                n_tables,
+                n_bits,
+                probes: 0,
+                ..Default::default()
+            },
+        );
+        for probes in [0usize, 4, 8] {
+            let mut tuned = lsh.clone();
+            tuned.set_probes(probes);
+            rows.push(measure(
+                format!("lsh tables={n_tables} bits={n_bits} probes={probes}"),
+                &tuned,
+                &flat,
+                &queries,
+            ));
+        }
+    }
+    print_table("LSH (tables × probes sweep)", &rows);
+}

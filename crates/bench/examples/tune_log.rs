@@ -1,12 +1,15 @@
 //! Scratch tuning harness: log collection depth and log-kernel choice.
 use lrf_bench::experiment::{ExperimentSpec, ProtocolConfig};
 use lrf_cbir::CorelDataset;
-use lrf_core::{LogKernel, Lrf2Svms, LrfConfig, QueryContext, RelevanceFeedback, RfSvm};
 use lrf_cbir::{precision_at, QueryProtocol};
+use lrf_core::{LogKernel, Lrf2Svms, LrfConfig, QueryContext, RelevanceFeedback, RfSvm};
 
 fn main() {
     let mut spec = ExperimentSpec::table1(42);
-    spec.protocol = ProtocolConfig { n_queries: 30, ..spec.protocol };
+    spec.protocol = ProtocolConfig {
+        n_queries: 30,
+        ..spec.protocol
+    };
     eprintln!("building dataset ...");
     let ds = CorelDataset::build(spec.dataset.clone());
     let protocol: QueryProtocol = spec.protocol.into();
@@ -17,7 +20,11 @@ fn main() {
     let mut p_rf = 0.0;
     for &q in &queries {
         let example = protocol.feedback_example(&ds.db, q);
-        let ctx = QueryContext { db: &ds.db, log: &empty_log, example: &example };
+        let ctx = QueryContext {
+            db: &ds.db,
+            log: &empty_log,
+            example: &example,
+        };
         p_rf += precision_at(&rf.rank(&ctx), |id| ds.db.same_category(id, q), 20);
     }
     println!("RF-SVM reference P@20 = {:.3}", p_rf / queries.len() as f64);
@@ -34,13 +41,20 @@ fn main() {
         log_cfg.rounds_per_query = rounds;
         let log = lrf_core::collect_feedback_log(&ds.db, &log_cfg, &spec.lrf);
         for (name, k) in kernels {
-            let lrf = LrfConfig { log_kernel: k, ..spec.lrf };
+            let lrf = LrfConfig {
+                log_kernel: k,
+                ..spec.lrf
+            };
             let two = Lrf2Svms::new(lrf);
             let mut p2 = 0.0;
             let mut p_log = 0.0;
             for &q in &queries {
                 let example = protocol.feedback_example(&ds.db, q);
-                let ctx = QueryContext { db: &ds.db, log: &log, example: &example };
+                let ctx = QueryContext {
+                    db: &ds.db,
+                    log: &log,
+                    example: &example,
+                };
                 p2 += precision_at(&two.rank(&ctx), |id| ds.db.same_category(id, q), 20);
                 let log_svm = two.train_log_svm(&ctx);
                 let scores = Lrf2Svms::score_all_log(&log, &log_svm.model);

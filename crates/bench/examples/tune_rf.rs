@@ -5,7 +5,10 @@ use lrf_core::LrfConfig;
 
 fn main() {
     let mut spec = ExperimentSpec::table1(42);
-    spec.protocol = ProtocolConfig { n_queries: 30, ..spec.protocol };
+    spec.protocol = ProtocolConfig {
+        n_queries: 30,
+        ..spec.protocol
+    };
     spec.schemes = SchemeChoice::CsvmAndRf;
     eprintln!("building dataset ...");
     let ds = CorelDataset::build(spec.dataset.clone());
@@ -26,7 +29,11 @@ fn main() {
             };
             let r = run_on_prepared(&s, &ds, &log);
             let rf = r.curve("RF-SVM").unwrap();
-            println!("gamma={gamma:.3} C={c:<5} RF-SVM P@20={:.3} MAP={:.3}", rf.at(20), rf.map());
+            println!(
+                "gamma={gamma:.3} C={c:<5} RF-SVM P@20={:.3} MAP={:.3}",
+                rf.at(20),
+                rf.map()
+            );
         }
     }
 }

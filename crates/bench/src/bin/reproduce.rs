@@ -28,8 +28,8 @@
 //!   --json PATH        also dump results as JSON
 //! ```
 
-use lrf_bench::{figure_series, markdown_table, paper_table, run_experiment};
 use lrf_bench::experiment::{run_on_prepared, ExperimentSpec, ProtocolConfig, SchemeChoice};
+use lrf_bench::{figure_series, markdown_table, paper_table, run_experiment};
 use lrf_cbir::{CorelDataset, CorelSpec};
 use lrf_core::{LrfConfig, UnlabeledSelection};
 use std::process::ExitCode;
@@ -60,10 +60,13 @@ fn parse_args() -> Result<Options, String> {
     opts.command = it.next().ok_or_else(|| "missing command".to_string())?;
     while let Some(flag) = it.next() {
         let mut value = |name: &str| {
-            it.next().ok_or_else(|| format!("flag {name} needs a value"))
+            it.next()
+                .ok_or_else(|| format!("flag {name} needs a value"))
         };
         match flag.as_str() {
-            "--queries" => opts.queries = value("--queries")?.parse().map_err(|e| format!("{e}"))?,
+            "--queries" => {
+                opts.queries = value("--queries")?.parse().map_err(|e| format!("{e}"))?
+            }
             "--sessions" => {
                 opts.sessions = value("--sessions")?.parse().map_err(|e| format!("{e}"))?
             }
@@ -98,10 +101,17 @@ fn ablation_spec(opts: &Options) -> ExperimentSpec {
         return s;
     }
     let mut spec = ExperimentSpec::table1(opts.seed);
-    spec.dataset = CorelSpec { n_categories: 10, per_category: 50, ..spec.dataset };
+    spec.dataset = CorelSpec {
+        n_categories: 10,
+        per_category: 50,
+        ..spec.dataset
+    };
     spec.log.n_sessions = opts.sessions.min(80);
     spec.log.noise = opts.noise;
-    spec.protocol = ProtocolConfig { n_queries: opts.queries.min(50), ..spec.protocol };
+    spec.protocol = ProtocolConfig {
+        n_queries: opts.queries.min(50),
+        ..spec.protocol
+    };
     spec.schemes = SchemeChoice::CsvmAndRf;
     spec
 }
@@ -122,9 +132,15 @@ fn dump_json(path: &str, payload: &impl serde::Serialize) {
 fn run_main_experiment(opts: &Options, fifty: bool, as_figure: bool) {
     let spec = spec_for(opts, fifty);
     let (label, figure_label) = if fifty {
-        ("Table 2: quantitative evaluation, 50-Category dataset", "Fig. 4: 50-Category")
+        (
+            "Table 2: quantitative evaluation, 50-Category dataset",
+            "Fig. 4: 50-Category",
+        )
     } else {
-        ("Table 1: quantitative evaluation, 20-Category dataset", "Fig. 3: 20-Category")
+        (
+            "Table 1: quantitative evaluation, 20-Category dataset",
+            "Fig. 3: 20-Category",
+        )
     };
     eprintln!(
         "building {}-category dataset ({} images) ...",
@@ -146,12 +162,21 @@ fn run_main_experiment(opts: &Options, fifty: bool, as_figure: bool) {
 fn run_all(opts: &Options) {
     for fifty in [false, true] {
         let spec = spec_for(opts, fifty);
-        eprintln!("building {}-category dataset ...", spec.dataset.n_categories);
+        eprintln!(
+            "building {}-category dataset ...",
+            spec.dataset.n_categories
+        );
         let result = run_experiment(&spec);
         let (table_label, fig_label) = if fifty {
-            ("Table 2: quantitative evaluation, 50-Category dataset", "Fig. 4: 50-Category")
+            (
+                "Table 2: quantitative evaluation, 50-Category dataset",
+                "Fig. 4: 50-Category",
+            )
         } else {
-            ("Table 1: quantitative evaluation, 20-Category dataset", "Fig. 3: 20-Category")
+            (
+                "Table 1: quantitative evaluation, 20-Category dataset",
+                "Fig. 3: 20-Category",
+            )
         };
         println!("{}", paper_table(table_label, &result));
         println!("{}", figure_series(fig_label, &result));
@@ -165,14 +190,26 @@ fn run_selection_ablation(opts: &Options) {
     eprintln!("building ablation dataset ...");
     let dataset = CorelDataset::build(base.dataset.clone());
     let log = lrf_core::collect_feedback_log(&dataset.db, &base.log, &base.lrf);
-    println!("§6.5 ablation: unlabeled-selection strategy (MAP, {} queries)", base.protocol.n_queries);
+    println!(
+        "§6.5 ablation: unlabeled-selection strategy (MAP, {} queries)",
+        base.protocol.n_queries
+    );
     for (name, sel) in [
-        ("MaxMinCombinedDistance (paper)", UnlabeledSelection::MaxMinCombinedDistance),
-        ("ClosestToBoundary (rejected in §6.5)", UnlabeledSelection::ClosestToBoundary),
+        (
+            "MaxMinCombinedDistance (paper)",
+            UnlabeledSelection::MaxMinCombinedDistance,
+        ),
+        (
+            "ClosestToBoundary (rejected in §6.5)",
+            UnlabeledSelection::ClosestToBoundary,
+        ),
         ("Random (control)", UnlabeledSelection::Random),
     ] {
         let spec = ExperimentSpec {
-            lrf: LrfConfig { selection: sel, ..base.lrf },
+            lrf: LrfConfig {
+                selection: sel,
+                ..base.lrf
+            },
             schemes: SchemeChoice::CsvmOnly,
             ..base.clone()
         };
@@ -182,11 +219,18 @@ fn run_selection_ablation(opts: &Options) {
         println!("  {name:<40} MAP {map:.3}  P@20 {p20:.3}");
     }
     // Reference: RF-SVM without any log/transduction.
-    let rf_spec =
-        ExperimentSpec { schemes: SchemeChoice::CsvmAndRf, ..base.clone() };
+    let rf_spec = ExperimentSpec {
+        schemes: SchemeChoice::CsvmAndRf,
+        ..base.clone()
+    };
     let result = run_on_prepared(&rf_spec, &dataset, &log);
     let rf = result.curve("RF-SVM").expect("RF-SVM curve present");
-    println!("  {:<40} MAP {:.3}  P@20 {:.3}", "RF-SVM (no log reference)", rf.map(), rf.at(20));
+    println!(
+        "  {:<40} MAP {:.3}  P@20 {:.3}",
+        "RF-SVM (no log reference)",
+        rf.map(),
+        rf.at(20)
+    );
 }
 
 fn run_param_sweep<T: Copy + std::fmt::Display>(
@@ -205,7 +249,10 @@ fn run_param_sweep<T: Copy + std::fmt::Display>(
         base.protocol.n_queries
     );
     for &v in values {
-        let mut spec = ExperimentSpec { schemes: SchemeChoice::CsvmOnly, ..base.clone() };
+        let mut spec = ExperimentSpec {
+            schemes: SchemeChoice::CsvmOnly,
+            ..base.clone()
+        };
         apply(&mut spec, v);
         let result = if rebuild_log {
             let log = lrf_core::collect_feedback_log(&dataset.db, &spec.log, &spec.lrf);
@@ -214,7 +261,11 @@ fn run_param_sweep<T: Copy + std::fmt::Display>(
             run_on_prepared(&spec, &dataset, &base_log)
         };
         let curve = &result.curves[0].1;
-        println!("  {param_name} = {v:<10} MAP {:.3}  P@20 {:.3}", curve.map(), curve.at(20));
+        println!(
+            "  {param_name} = {v:<10} MAP {:.3}  P@20 {:.3}",
+            curve.map(),
+            curve.at(20)
+        );
     }
 }
 
@@ -225,7 +276,10 @@ fn run_calibration(opts: &Options) {
         let mut spec = spec_for(opts, fifty);
         spec.schemes = SchemeChoice::All;
         spec.protocol.n_queries = opts.queries;
-        eprintln!("building {}-category dataset ...", spec.dataset.n_categories);
+        eprintln!(
+            "building {}-category dataset ...",
+            spec.dataset.n_categories
+        );
         let result = run_experiment(&spec);
         let eu = result.curve("Euclidean").expect("Euclidean curve present");
         println!(
@@ -238,7 +292,6 @@ fn run_calibration(opts: &Options) {
         );
     }
 }
-
 
 fn run_rounds(opts: &Options) {
     use lrf_core::RoundSelection;
@@ -256,7 +309,12 @@ fn run_rounds(opts: &Options) {
         ..base.clone()
     };
     let results = lrf_bench::experiment::run_rounds_experiment(
-        &spec, &dataset, &log, n_rounds, 15, RoundSelection::TopConfident,
+        &spec,
+        &dataset,
+        &log,
+        n_rounds,
+        15,
+        RoundSelection::TopConfident,
     );
     print!("{:>10}", "scheme");
     for r in 1..=n_rounds {
@@ -282,9 +340,8 @@ fn run_rounds(opts: &Options) {
             schemes: SchemeChoice::CsvmOnly,
             ..base.clone()
         };
-        let results = lrf_bench::experiment::run_rounds_experiment(
-            &spec, &dataset, &log, n_rounds, 15, sel,
-        );
+        let results =
+            lrf_bench::experiment::run_rounds_experiment(&spec, &dataset, &log, n_rounds, 15, sel);
         print!("{label:>15}");
         for v in &results[0].1 {
             print!("  {v:>7.3}");

@@ -2,7 +2,7 @@
 
 use lrf_cbir::{CorelDataset, CorelSpec, PrecisionCurve, QueryProtocol};
 use lrf_core::{
-    EuclideanScheme, Lrf2Svms, LrfCsvm, LrfConfig, QueryContext, RelevanceFeedback, RfSvm,
+    EuclideanScheme, Lrf2Svms, LrfConfig, LrfCsvm, QueryContext, RelevanceFeedback, RfSvm,
 };
 use lrf_logdb::{LogStore, SimulationConfig};
 use serde::{Deserialize, Serialize};
@@ -49,13 +49,21 @@ pub struct ProtocolConfig {
 impl Default for ProtocolConfig {
     fn default() -> Self {
         let p = QueryProtocol::default();
-        Self { n_queries: p.n_queries, n_labeled: p.n_labeled, seed: p.seed }
+        Self {
+            n_queries: p.n_queries,
+            n_labeled: p.n_labeled,
+            seed: p.seed,
+        }
     }
 }
 
 impl From<ProtocolConfig> for QueryProtocol {
     fn from(c: ProtocolConfig) -> Self {
-        QueryProtocol { n_queries: c.n_queries, n_labeled: c.n_labeled, seed: c.seed }
+        QueryProtocol {
+            n_queries: c.n_queries,
+            n_labeled: c.n_labeled,
+            seed: c.seed,
+        }
     }
 }
 
@@ -64,8 +72,14 @@ impl ExperimentSpec {
     pub fn table1(seed: u64) -> Self {
         Self {
             dataset: CorelSpec::twenty_category(seed),
-            log: SimulationConfig { seed: seed ^ 0x10f0, ..Default::default() },
-            protocol: ProtocolConfig { seed: seed ^ 0x20f0, ..Default::default() },
+            log: SimulationConfig {
+                seed: seed ^ 0x10f0,
+                ..Default::default()
+            },
+            protocol: ProtocolConfig {
+                seed: seed ^ 0x20f0,
+                ..Default::default()
+            },
             lrf: LrfConfig::default(),
             schemes: SchemeChoice::All,
         }
@@ -73,7 +87,10 @@ impl ExperimentSpec {
 
     /// The paper's 50-Category experiment (Table 2 / Fig. 4).
     pub fn table2(seed: u64) -> Self {
-        Self { dataset: CorelSpec::fifty_category(seed), ..Self::table1(seed) }
+        Self {
+            dataset: CorelSpec::fifty_category(seed),
+            ..Self::table1(seed)
+        }
     }
 
     /// A down-scaled spec for smoke tests and quick iterations.
@@ -87,8 +104,15 @@ impl ExperimentSpec {
                 noise: 0.1,
                 seed: seed ^ 1,
             },
-            protocol: ProtocolConfig { n_queries: 10, n_labeled: 10, seed: seed ^ 2 },
-            lrf: LrfConfig { n_unlabeled: 10, ..Default::default() },
+            protocol: ProtocolConfig {
+                n_queries: 10,
+                n_labeled: 10,
+                seed: seed ^ 2,
+            },
+            lrf: LrfConfig {
+                n_unlabeled: 10,
+                ..Default::default()
+            },
             schemes: SchemeChoice::All,
         }
     }
@@ -119,7 +143,7 @@ impl ExperimentResult {
 /// refined screens ([`lrf_core::collect_feedback_log`]), not plain content
 /// ranking.
 ///
-/// Queries are sharded across threads with `crossbeam::scope`; results are
+/// Queries are sharded across threads with `std::thread::scope`; results are
 /// deterministic regardless of thread count because every query's work is
 /// self-contained and accumulation is order-independent up to float
 /// summation over a fixed per-scheme order (shards are merged in shard
@@ -148,23 +172,29 @@ pub fn run_on_prepared(
     let queries = protocol.sample_queries(&dataset.db);
 
     let started = std::time::Instant::now();
-    let n_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let n_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let chunk = queries.len().div_ceil(n_threads).max(1);
 
     // Each shard accumulates one PrecisionCurve per scheme; shards merge in
     // order afterwards.
-    let shard_results: Vec<Vec<PrecisionCurve>> = crossbeam::thread::scope(|scope| {
+    let shard_results: Vec<Vec<PrecisionCurve>> = std::thread::scope(|scope| {
         let handles: Vec<_> = queries
             .chunks(chunk)
             .map(|shard| {
                 let schemes = &schemes;
                 let db = &dataset.db;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut curves: Vec<PrecisionCurve> =
                         schemes.iter().map(|_| PrecisionCurve::new()).collect();
                     for &q in shard {
                         let example = protocol.feedback_example(db, q);
-                        let ctx = QueryContext { db, log, example: &example };
+                        let ctx = QueryContext {
+                            db,
+                            log,
+                            example: &example,
+                        };
                         for (scheme, curve) in schemes.iter().zip(&mut curves) {
                             let ranked = scheme.rank(&ctx);
                             curve.add(&ranked, |id| db.same_category(id, q));
@@ -174,9 +204,11 @@ pub fn run_on_prepared(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("evaluation shard panicked")).collect()
-    })
-    .expect("evaluation scope panicked");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("evaluation shard panicked"))
+            .collect()
+    });
 
     // Merge shards.
     let mut merged: Vec<PrecisionCurve> = schemes.iter().map(|_| PrecisionCurve::new()).collect();
@@ -211,9 +243,87 @@ fn build_schemes(spec: &ExperimentSpec) -> Vec<Box<dyn RelevanceFeedback + Sync>
         ],
         SchemeChoice::CsvmOnly => vec![Box::new(LrfCsvm::new(spec.lrf))],
         SchemeChoice::CsvmAndRf => {
-            vec![Box::new(RfSvm::new(spec.lrf)), Box::new(LrfCsvm::new(spec.lrf))]
+            vec![
+                Box::new(RfSvm::new(spec.lrf)),
+                Box::new(LrfCsvm::new(spec.lrf)),
+            ]
         }
     }
+}
+
+/// Multi-round feedback evaluation: the paper's motivating metric ("achieve
+/// satisfactory results within as few feedback cycles as possible").
+///
+/// For each query, every scheme starts from the same auto-judged Euclidean
+/// top-`n_labeled` round; after each ranking, the next round's screen is
+/// chosen by `selection` over the scheme's own scores-implied ranking (we
+/// use rank order as the score surrogate, which is what presentation
+/// policies act on), judged by ground truth, and appended to the labeled
+/// set. Returns, per scheme, the mean P@20 after each round.
+pub fn run_rounds_experiment(
+    spec: &ExperimentSpec,
+    dataset: &CorelDataset,
+    log: &LogStore,
+    n_rounds: usize,
+    screen_size: usize,
+    selection: lrf_core::RoundSelection,
+) -> Vec<(String, Vec<f64>)> {
+    let schemes = build_schemes(spec);
+    let protocol: QueryProtocol = spec.protocol.into();
+    let queries = protocol.sample_queries(&dataset.db);
+    let db = &dataset.db;
+
+    let mut per_scheme: Vec<Vec<f64>> = schemes.iter().map(|_| vec![0.0; n_rounds]).collect();
+    for &q in &queries {
+        for (s_idx, scheme) in schemes.iter().enumerate() {
+            let mut example = protocol.feedback_example(db, q);
+            #[allow(clippy::needless_range_loop)] // round drives both the
+            // accumulator slot and the feedback-refresh below
+            for round in 0..n_rounds {
+                let ctx = QueryContext {
+                    db,
+                    log,
+                    example: &example,
+                };
+                // Real decision scores where the scheme has them (needed by
+                // uncertainty-based presentation); rank-derived surrogate
+                // otherwise (Euclidean).
+                let (ranked, scores) = match scheme.scores(&ctx) {
+                    Some(scores) => (lrf_core::feedback::rank_by_scores(&scores), scores),
+                    None => {
+                        let ranked = scheme.rank(&ctx);
+                        let mut surrogate = vec![0.0f64; db.len()];
+                        for (pos, &id) in ranked.iter().enumerate() {
+                            surrogate[id] = -(pos as f64);
+                        }
+                        (ranked, surrogate)
+                    }
+                };
+                per_scheme[s_idx][round] +=
+                    lrf_cbir::precision_at(&ranked, |id| db.same_category(id, q), 20);
+                let judged: std::collections::HashSet<usize> =
+                    example.labeled.iter().map(|&(id, _)| id).collect();
+                let screen = selection.select(&scores, &judged, screen_size);
+                for id in screen {
+                    let y = if db.same_category(id, q) { 1.0 } else { -1.0 };
+                    example.labeled.push((id, y));
+                }
+            }
+        }
+    }
+    schemes
+        .iter()
+        .zip(per_scheme)
+        .map(|(s, totals)| {
+            (
+                s.name().to_string(),
+                totals
+                    .into_iter()
+                    .map(|t| t / queries.len() as f64)
+                    .collect(),
+            )
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -229,7 +339,10 @@ mod tests {
         assert_eq!(result.curves[3].0, "LRF-CSVM");
         for (name, curve) in &result.curves {
             assert_eq!(curve.n_queries, 10, "{name}");
-            assert!(curve.values.iter().all(|&v| (0.0..=1.0).contains(&v)), "{name}");
+            assert!(
+                curve.values.iter().all(|&v| (0.0..=1.0).contains(&v)),
+                "{name}"
+            );
         }
     }
 
@@ -265,75 +378,4 @@ mod tests {
         let t2 = ExperimentSpec::table2(0);
         assert_eq!(t2.dataset.n_categories, 50);
     }
-}
-
-/// Multi-round feedback evaluation: the paper's motivating metric ("achieve
-/// satisfactory results within as few feedback cycles as possible").
-///
-/// For each query, every scheme starts from the same auto-judged Euclidean
-/// top-`n_labeled` round; after each ranking, the next round's screen is
-/// chosen by `selection` over the scheme's own scores-implied ranking (we
-/// use rank order as the score surrogate, which is what presentation
-/// policies act on), judged by ground truth, and appended to the labeled
-/// set. Returns, per scheme, the mean P@20 after each round.
-pub fn run_rounds_experiment(
-    spec: &ExperimentSpec,
-    dataset: &CorelDataset,
-    log: &LogStore,
-    n_rounds: usize,
-    screen_size: usize,
-    selection: lrf_core::RoundSelection,
-) -> Vec<(String, Vec<f64>)> {
-    let schemes = build_schemes(spec);
-    let protocol: QueryProtocol = spec.protocol.into();
-    let queries = protocol.sample_queries(&dataset.db);
-    let db = &dataset.db;
-
-    let mut per_scheme: Vec<Vec<f64>> = schemes.iter().map(|_| vec![0.0; n_rounds]).collect();
-    for &q in &queries {
-        for (s_idx, scheme) in schemes.iter().enumerate() {
-            let mut example = protocol.feedback_example(db, q);
-            for round in 0..n_rounds {
-                let ctx = QueryContext { db, log, example: &example };
-                // Real decision scores where the scheme has them (needed by
-                // uncertainty-based presentation); rank-derived surrogate
-                // otherwise (Euclidean).
-                let (ranked, scores) = match scheme.scores(&ctx) {
-                    Some(scores) => {
-                        (lrf_core::feedback::rank_by_scores(&scores), scores)
-                    }
-                    None => {
-                        let ranked = scheme.rank(&ctx);
-                        let mut surrogate = vec![0.0f64; db.len()];
-                        for (pos, &id) in ranked.iter().enumerate() {
-                            surrogate[id] = -(pos as f64);
-                        }
-                        (ranked, surrogate)
-                    }
-                };
-                per_scheme[s_idx][round] += lrf_cbir::precision_at(
-                    &ranked,
-                    |id| db.same_category(id, q),
-                    20,
-                );
-                let judged: std::collections::HashSet<usize> =
-                    example.labeled.iter().map(|&(id, _)| id).collect();
-                let screen = selection.select(&scores, &judged, screen_size);
-                for id in screen {
-                    let y = if db.same_category(id, q) { 1.0 } else { -1.0 };
-                    example.labeled.push((id, y));
-                }
-            }
-        }
-    }
-    schemes
-        .iter()
-        .zip(per_scheme)
-        .map(|(s, totals)| {
-            (
-                s.name().to_string(),
-                totals.into_iter().map(|t| t / queries.len() as f64).collect(),
-            )
-        })
-        .collect()
 }

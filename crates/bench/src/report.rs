@@ -16,7 +16,12 @@ pub fn paper_table(title: &str, result: &ExperimentResult) -> String {
     let mut header = format!("{:>6}", "#TOP");
     for (name, _) in &result.curves {
         let wide = name == "LRF-2SVMs" || name == "LRF-CSVM";
-        let _ = write!(header, "  {:>width$}", name, width = if wide { 17 } else { 9 });
+        let _ = write!(
+            header,
+            "  {:>width$}",
+            name,
+            width = if wide { 17 } else { 9 }
+        );
     }
     let _ = writeln!(out, "{header}");
 
@@ -93,9 +98,10 @@ pub fn markdown_table(result: &ExperimentResult) -> String {
         let _ = write!(out, "| {k} |");
         for (name, curve) in &result.curves {
             let v = curve.values[i];
-            if let (true, Some(base)) =
-                ((name == "LRF-2SVMs" || name == "LRF-CSVM"), baseline.as_ref())
-            {
+            if let (true, Some(base)) = (
+                (name == "LRF-2SVMs" || name == "LRF-CSVM"),
+                baseline.as_ref(),
+            ) {
                 let b = base.values[i];
                 let imp = if b > 0.0 { (v - b) / b * 100.0 } else { 0.0 };
                 let _ = write!(out, " {v:.3} ({imp:+.1}%) |");
@@ -108,9 +114,10 @@ pub fn markdown_table(result: &ExperimentResult) -> String {
     let _ = write!(out, "| MAP |");
     for (name, curve) in &result.curves {
         let v = curve.map();
-        if let (true, Some(base)) =
-            ((name == "LRF-2SVMs" || name == "LRF-CSVM"), baseline.as_ref())
-        {
+        if let (true, Some(base)) = (
+            (name == "LRF-2SVMs" || name == "LRF-CSVM"),
+            baseline.as_ref(),
+        ) {
             let b = base.map();
             let imp = if b > 0.0 { (v - b) / b * 100.0 } else { 0.0 };
             let _ = write!(out, " {v:.3} ({imp:+.1}%) |");
@@ -160,7 +167,10 @@ mod tests {
     #[test]
     fn figure_series_has_nine_rows() {
         let series = figure_series("Fig 3", &fake_result());
-        let data_rows = series.lines().filter(|l| l.trim_start().starts_with(char::is_numeric)).count();
+        let data_rows = series
+            .lines()
+            .filter(|l| l.trim_start().starts_with(char::is_numeric))
+            .count();
         assert_eq!(data_rows, 9, "series:\n{series}");
     }
 

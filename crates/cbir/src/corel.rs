@@ -93,7 +93,10 @@ impl CorelSpec {
 
     /// The paper's 50-Category dataset (50 × 100 images).
     pub fn fifty_category(seed: u64) -> Self {
-        Self { n_categories: 50, ..Self::twenty_category(seed) }
+        Self {
+            n_categories: 50,
+            ..Self::twenty_category(seed)
+        }
     }
 
     /// A reduced spec for fast tests: fewer categories/images, small canvas.
@@ -109,9 +112,12 @@ impl CorelSpec {
 
     fn validate(&self) {
         assert!(self.n_categories > 0, "need at least one category");
-        assert!(self.per_category > 0, "need at least one image per category");
         assert!(
-            self.image_size >= 16 && self.image_size % 8 == 0,
+            self.per_category > 0,
+            "need at least one image per category"
+        );
+        assert!(
+            self.image_size >= 16 && self.image_size.is_multiple_of(8),
             "image_size must be a multiple of 8 and >= 16 (3-level DWT), got {}",
             self.image_size
         );
@@ -145,12 +151,13 @@ impl CorelDataset {
             &(&spec.style).into(),
         );
         let corpus = SyntheticCorpus::generate(&generator, spec.per_category);
-        let db = ImageDatabase::from_images(
-            &corpus.images,
-            corpus.labels,
-            &FeatureExtractor::default(),
-        );
-        Self { db, generator, spec }
+        let db =
+            ImageDatabase::from_images(&corpus.images, corpus.labels, &FeatureExtractor::default());
+        Self {
+            db,
+            generator,
+            spec,
+        }
     }
 }
 
@@ -189,8 +196,14 @@ mod tests {
         }
         let mean_p = total / db.len() as f64;
         let chance = 1.0 / 5.0;
-        assert!(mean_p > chance * 1.5, "precision {mean_p} not above chance {chance}");
-        assert!(mean_p < 0.999, "corpus must not be trivially separable, got {mean_p}");
+        assert!(
+            mean_p > chance * 1.5,
+            "precision {mean_p} not above chance {chance}"
+        );
+        assert!(
+            mean_p < 0.999,
+            "corpus must not be trivially separable, got {mean_p}"
+        );
     }
 
     #[test]

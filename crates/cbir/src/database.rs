@@ -11,6 +11,12 @@ use serde::{Deserialize, Serialize};
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ImageDatabase {
     features: Vec<Vec<f64>>,
+    /// Row-major copy of `features` — one contiguous `N × dim` matrix, so
+    /// index backends and the Euclidean hot loop scan linearly instead of
+    /// chasing one heap allocation per vector. Kept in sync by
+    /// construction (the database is immutable after build).
+    flat: Vec<f64>,
+    dim: usize,
     categories: Vec<usize>,
     n_categories: usize,
 }
@@ -24,11 +30,27 @@ impl ImageDatabase {
     /// Panics if inputs are empty or of mismatched length.
     pub fn from_features(mut features: Vec<Vec<f64>>, categories: Vec<usize>) -> Self {
         assert!(!features.is_empty(), "database cannot be empty");
-        assert_eq!(features.len(), categories.len(), "features/categories mismatch");
+        assert_eq!(
+            features.len(),
+            categories.len(),
+            "features/categories mismatch"
+        );
         let normalizer = Normalizer::fit(&features);
         normalizer.apply_all(&mut features);
         let n_categories = categories.iter().copied().max().unwrap_or(0) + 1;
-        Self { features, categories, n_categories }
+        let dim = features[0].len();
+        assert!(
+            features.iter().all(|f| f.len() == dim),
+            "all feature vectors must share one dimension"
+        );
+        let flat: Vec<f64> = features.iter().flatten().copied().collect();
+        Self {
+            features,
+            flat,
+            dim,
+            categories,
+            n_categories,
+        }
     }
 
     /// Extracts features from images (multi-threaded) and builds the
@@ -69,6 +91,23 @@ impl ImageDatabase {
         &self.features
     }
 
+    /// Feature dimensionality `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The contiguous row-major `N × dim` feature matrix — the input the
+    /// ANN index backends and the Euclidean hot loop consume.
+    pub fn features_flat(&self) -> &[f64] {
+        &self.flat
+    }
+
+    /// The normalized feature vector of image `i` as a slice of the flat
+    /// matrix (no per-vector allocation behind it).
+    pub fn feature_row(&self, i: usize) -> &[f64] {
+        &self.flat[i * self.dim..(i + 1) * self.dim]
+    }
+
     /// Ground-truth category of image `i`.
     pub fn category(&self, i: usize) -> usize {
         self.categories[i]
@@ -89,7 +128,9 @@ impl ImageDatabase {
 /// Chunked multi-threaded feature extraction (std scoped threads — feature
 /// extraction is embarrassingly parallel and dominates dataset build time).
 fn extract_parallel(images: &[RgbImage], extractor: &FeatureExtractor) -> Vec<Vec<f64>> {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     if threads <= 1 || images.len() < 32 {
         return extractor.extract_all(images);
     }
@@ -134,6 +175,16 @@ mod tests {
         assert_eq!(db.category(5), 1);
         assert!(db.same_category(0, 3));
         assert!(!db.same_category(0, 4));
+    }
+
+    #[test]
+    fn flat_matrix_mirrors_row_features() {
+        let db = tiny_db();
+        assert_eq!(db.dim(), lrf_features::TOTAL_DIMS);
+        assert_eq!(db.features_flat().len(), db.len() * db.dim());
+        for i in 0..db.len() {
+            assert_eq!(db.feature_row(i), db.feature(i).as_slice());
+        }
     }
 
     #[test]

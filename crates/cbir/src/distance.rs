@@ -13,37 +13,55 @@ use crate::database::ImageDatabase;
 /// Debug-panics on dimension mismatch.
 #[inline]
 pub fn euclidean_distance(a: &[f64], b: &[f64]) -> f64 {
+    squared_euclidean(a, b).sqrt()
+}
+
+/// Squared Euclidean distance — the monotone surrogate every ranking path
+/// uses internally (the `sqrt` adds nothing to an ordering and costs a
+/// libm call per vector in the hot loop).
+#[inline]
+pub fn squared_euclidean(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| {
-            let d = x - y;
-            d * d
-        })
-        .sum::<f64>()
-        .sqrt()
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc
 }
 
 /// Ranks the whole database by ascending distance to `query_feature`.
 /// Returns image ids; ties break by id for determinism.
+///
+/// Ordering uses squared distance under [`f64::total_cmp`], so the sort is
+/// total even if a feature vector carries NaNs (they rank last instead of
+/// silently scrambling the comparator, as the old
+/// `partial_cmp(..).unwrap_or(Equal)` did).
 pub fn rank_by_euclidean(db: &ImageDatabase, query_feature: &[f64]) -> Vec<usize> {
+    let dim = db.dim();
+    assert_eq!(query_feature.len(), dim, "query feature dimension mismatch");
     let mut scored: Vec<(usize, f64)> = db
-        .features()
-        .iter()
+        .features_flat()
+        .chunks_exact(dim)
         .enumerate()
-        .map(|(i, f)| (i, euclidean_distance(f, query_feature)))
+        .map(|(i, row)| (i, squared_euclidean(row, query_feature)))
         .collect();
-    scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+    scored.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
     scored.into_iter().map(|(i, _)| i).collect()
 }
 
 /// The `k` nearest images to the query image (by id); the query itself is
 /// included (distance 0 ranks it first), matching the era's evaluation
 /// protocol where the query is part of the database.
+///
+/// Runs on the bounded-heap scan ([`lrf_index::exact_top_k`]) — `O(N log
+/// k)` instead of sorting all `N` distances — and returns exactly the
+/// first `k` ids of [`rank_by_euclidean`].
 pub fn top_k_euclidean(db: &ImageDatabase, query_id: usize, k: usize) -> Vec<usize> {
-    let mut ranked = rank_by_euclidean(db, db.feature(query_id));
-    ranked.truncate(k);
-    ranked
+    lrf_index::exact_top_k(db.features_flat(), db.dim(), db.feature_row(query_id), k)
+        .into_iter()
+        .map(|(id, _)| id)
+        .collect()
 }
 
 #[cfg(test)]
@@ -101,5 +119,50 @@ mod tests {
     fn top_k_larger_than_db_returns_all() {
         let db = db_from(vec![vec![0.0], vec![1.0]]);
         assert_eq!(top_k_euclidean(&db, 0, 10).len(), 2);
+    }
+
+    #[test]
+    fn top_k_is_a_prefix_of_the_full_ranking() {
+        // The heap path and the sort path must agree id-for-id, including
+        // tie handling — the paper-fidelity invariant behind defaulting
+        // retrieval to the flat index.
+        let feats: Vec<Vec<f64>> = (0..40)
+            .map(|i| {
+                vec![
+                    (i as f64 * 0.37).sin(),
+                    (i as f64 * 0.73).cos(),
+                    (i % 5) as f64,
+                ]
+            })
+            .collect();
+        let db = db_from(feats);
+        for q in [0usize, 7, 39] {
+            let full = rank_by_euclidean(&db, db.feature(q));
+            for k in [1usize, 5, 17, 40] {
+                assert_eq!(top_k_euclidean(&db, q, k), full[..k.min(40)], "q={q} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn nan_query_yields_total_deterministic_order() {
+        // Every distance to a NaN query is NaN; under total_cmp the
+        // ranking degrades to stable id order instead of the comparator
+        // silently reporting everything "equal" mid-sort.
+        let db = db_from(vec![vec![0.0], vec![2.0], vec![1.0]]);
+        let ranked = rank_by_euclidean(&db, &[f64::NAN]);
+        assert_eq!(ranked, vec![0, 1, 2]);
+        let top = lrf_index::exact_top_k(db.features_flat(), db.dim(), &[f64::NAN], 2);
+        assert_eq!(
+            top.iter().map(|&(id, _)| id).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+    }
+
+    #[test]
+    fn squared_euclidean_matches_square_of_distance() {
+        let a = [0.3, -1.2, 4.0];
+        let b = [1.0, 0.5, -2.0];
+        assert!((squared_euclidean(&a, &b) - euclidean_distance(&a, &b).powi(2)).abs() < 1e-12);
     }
 }

@@ -26,7 +26,11 @@ pub const CUTOFFS: [usize; 9] = [20, 30, 40, 50, 60, 70, 80, 90, 100];
 /// # Panics
 /// Panics if the ranking holds fewer than `k` items (an evaluation bug).
 pub fn precision_at(ranked: &[usize], is_relevant: impl Fn(usize) -> bool, k: usize) -> f64 {
-    assert!(ranked.len() >= k, "ranking has {} items, need {k}", ranked.len());
+    assert!(
+        ranked.len() >= k,
+        "ranking has {} items, need {k}",
+        ranked.len()
+    );
     assert!(k > 0, "cutoff must be positive");
     let hits = ranked[..k].iter().filter(|&&id| is_relevant(id)).count();
     hits as f64 / k as f64
@@ -44,7 +48,10 @@ pub struct PrecisionCurve {
 impl PrecisionCurve {
     /// Accumulator over queries.
     pub fn new() -> Self {
-        Self { values: vec![0.0; CUTOFFS.len()], n_queries: 0 }
+        Self {
+            values: vec![0.0; CUTOFFS.len()],
+            n_queries: 0,
+        }
     }
 
     /// Adds one query's ranking to the average.
@@ -67,7 +74,10 @@ impl PrecisionCurve {
 
     /// Precision at a cutoff (`k` must be one of [`CUTOFFS`]).
     pub fn at(&self, k: usize) -> f64 {
-        let idx = CUTOFFS.iter().position(|&c| c == k).expect("k must be one of CUTOFFS");
+        let idx = CUTOFFS
+            .iter()
+            .position(|&c| c == k)
+            .expect("k must be one of CUTOFFS");
         self.values[idx]
     }
 
@@ -113,7 +123,11 @@ pub struct QueryProtocol {
 
 impl Default for QueryProtocol {
     fn default() -> Self {
-        Self { n_queries: 200, n_labeled: 20, seed: 0x9e3779b9 }
+        Self {
+            n_queries: 200,
+            n_labeled: 20,
+            seed: 0x9e3779b9,
+        }
     }
 }
 
@@ -121,16 +135,54 @@ impl QueryProtocol {
     /// Draws the query ids (uniform over the database, deterministic).
     pub fn sample_queries(&self, db: &ImageDatabase) -> Vec<usize> {
         let mut rng = StdRng::seed_from_u64(self.seed);
-        (0..self.n_queries).map(|_| rng.gen_range(0..db.len())).collect()
+        (0..self.n_queries)
+            .map(|_| rng.gen_range(0..db.len()))
+            .collect()
     }
 
     /// Builds the feedback round for one query: Euclidean top-`n_labeled`,
     /// labeled by ground-truth category match.
+    ///
+    /// Equivalent to [`Self::feedback_example_with_index`] over the exact
+    /// flat backend (the direct scan skips the index build).
     pub fn feedback_example(&self, db: &ImageDatabase, query: usize) -> FeedbackExample {
         let screen = top_k_euclidean(db, query, self.n_labeled);
+        self.label_screen(db, query, screen)
+    }
+
+    /// Builds the feedback round with the initial screen produced by an
+    /// ANN index instead of the direct scan. With a flat index the result
+    /// is bit-identical to [`Self::feedback_example`]; approximate
+    /// backends may surface a slightly different (still near) screen —
+    /// exactly what a deployed system's users would have judged.
+    pub fn feedback_example_with_index(
+        &self,
+        db: &ImageDatabase,
+        index: &dyn lrf_index::AnnIndex,
+        query: usize,
+    ) -> FeedbackExample {
+        let screen = crate::retrieval::top_k_ids(index, db.feature_row(query), self.n_labeled);
+        self.label_screen(db, query, screen)
+    }
+
+    fn label_screen(
+        &self,
+        db: &ImageDatabase,
+        query: usize,
+        screen: Vec<usize>,
+    ) -> FeedbackExample {
         let labeled = screen
             .into_iter()
-            .map(|id| (id, if db.same_category(id, query) { 1.0 } else { -1.0 }))
+            .map(|id| {
+                (
+                    id,
+                    if db.same_category(id, query) {
+                        1.0
+                    } else {
+                        -1.0
+                    },
+                )
+            })
             .collect();
         FeedbackExample { query, labeled }
     }
@@ -190,8 +242,14 @@ mod tests {
 
     #[test]
     fn improvement_percentages() {
-        let a = PrecisionCurve { values: vec![0.6; 9], n_queries: 1 };
-        let b = PrecisionCurve { values: vec![0.5; 9], n_queries: 1 };
+        let a = PrecisionCurve {
+            values: vec![0.6; 9],
+            n_queries: 1,
+        };
+        let b = PrecisionCurve {
+            values: vec![0.5; 9],
+            n_queries: 1,
+        };
         let imp = a.improvement_over(&b);
         assert!(imp.iter().all(|&v| (v - 0.2).abs() < 1e-12));
     }
@@ -199,7 +257,11 @@ mod tests {
     #[test]
     fn protocol_queries_are_deterministic_and_in_range() {
         let db = db_line(50);
-        let proto = QueryProtocol { n_queries: 30, n_labeled: 5, seed: 7 };
+        let proto = QueryProtocol {
+            n_queries: 30,
+            n_labeled: 5,
+            seed: 7,
+        };
         let q1 = proto.sample_queries(&db);
         let q2 = proto.sample_queries(&db);
         assert_eq!(q1, q2);
@@ -208,9 +270,34 @@ mod tests {
     }
 
     #[test]
+    fn flat_index_feedback_examples_are_bit_identical() {
+        // The acceptance bar for defaulting retrieval to the index: the
+        // flat-backed protocol reproduces the direct-scan protocol exactly,
+        // query for query.
+        let db = db_line(40);
+        let proto = QueryProtocol {
+            n_queries: 10,
+            n_labeled: 8,
+            seed: 3,
+        };
+        let index = crate::retrieval::build_flat_index(&db);
+        for q in 0..db.len() {
+            assert_eq!(
+                proto.feedback_example_with_index(&db, &index, q),
+                proto.feedback_example(&db, q),
+                "query {q}"
+            );
+        }
+    }
+
+    #[test]
     fn feedback_example_labels_by_category() {
         let db = db_line(20);
-        let proto = QueryProtocol { n_queries: 1, n_labeled: 6, seed: 0 };
+        let proto = QueryProtocol {
+            n_queries: 1,
+            n_labeled: 6,
+            seed: 0,
+        };
         let ex = proto.feedback_example(&db, 3);
         assert_eq!(ex.labeled.len(), 6);
         // query itself is first and labeled relevant
@@ -224,7 +311,11 @@ mod tests {
     #[test]
     fn feedback_example_near_boundary_mixes_labels() {
         let db = db_line(20);
-        let proto = QueryProtocol { n_queries: 1, n_labeled: 8, seed: 0 };
+        let proto = QueryProtocol {
+            n_queries: 1,
+            n_labeled: 8,
+            seed: 0,
+        };
         // query at the category boundary sees both classes on its screen
         let ex = proto.feedback_example(&db, 9);
         let pos = ex.labeled.iter().filter(|&&(_, y)| y > 0.0).count();

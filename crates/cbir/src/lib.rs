@@ -17,15 +17,23 @@
 //!   labeled sets).
 //! * [`logglue`] — wires [`lrf_logdb::simulate`] to the Euclidean ranker to
 //!   reproduce the paper's log-collection procedure.
+//! * [`retrieval`] — index-backed retrieval: builds `lrf-index` backends
+//!   (flat/IVF/LSH) over the database and routes screens and rankings
+//!   through them. Flat is the default and bit-identical to the direct
+//!   Euclidean scan.
 
 pub mod corel;
 pub mod database;
 pub mod distance;
 pub mod eval;
 pub mod logglue;
+pub mod retrieval;
 
 pub use corel::{CorelDataset, CorelSpec};
 pub use database::ImageDatabase;
-pub use distance::{euclidean_distance, rank_by_euclidean, top_k_euclidean};
+pub use distance::{euclidean_distance, rank_by_euclidean, squared_euclidean, top_k_euclidean};
 pub use eval::{precision_at, FeedbackExample, PrecisionCurve, QueryProtocol, CUTOFFS};
-pub use logglue::collect_log;
+pub use logglue::{collect_log, collect_log_with_index};
+pub use retrieval::{
+    build_flat_index, build_ivf_index, build_lsh_index, rank_with_index, top_k_ids,
+};

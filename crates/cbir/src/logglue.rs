@@ -10,14 +10,42 @@
 
 use crate::database::ImageDatabase;
 use crate::distance::rank_by_euclidean;
+use lrf_index::AnnIndex;
 use lrf_logdb::{simulate_sessions, LogStore, SimulationConfig};
 
 /// Collects a simulated feedback log over `db` with content-only screens.
 pub fn collect_log(db: &ImageDatabase, config: &SimulationConfig) -> LogStore {
     let sessions = simulate_sessions(config, db.categories(), |query, judged, k| {
-        let seen: std::collections::HashSet<usize> =
-            judged.iter().map(|&(id, _)| id).collect();
+        let seen: std::collections::HashSet<usize> = judged.iter().map(|&(id, _)| id).collect();
         rank_by_euclidean(db, db.feature(query))
+            .into_iter()
+            .filter(|id| !seen.contains(id))
+            .take(k)
+            .collect()
+    });
+    let mut store = LogStore::new(db.len());
+    for s in sessions {
+        store.record(s);
+    }
+    store
+}
+
+/// As [`collect_log`], but every screen comes from an ANN index instead of
+/// the full ranking: round `r` fetches the top `k + judged` candidates and
+/// drops the already-judged ones. Because each round's screen is exactly
+/// the next `k` of the exact ranking, a flat index reproduces
+/// [`collect_log`] bit-for-bit; approximate backends collect the log a
+/// real large-scale deployment would have collected (screens from the
+/// index it actually serves).
+pub fn collect_log_with_index(
+    db: &ImageDatabase,
+    index: &dyn AnnIndex,
+    config: &SimulationConfig,
+) -> LogStore {
+    assert_eq!(index.len(), db.len(), "index does not cover the database");
+    let sessions = simulate_sessions(config, db.categories(), |query, judged, k| {
+        let seen: std::collections::HashSet<usize> = judged.iter().map(|&(id, _)| id).collect();
+        crate::retrieval::top_k_ids(index, db.feature_row(query), k + judged.len())
             .into_iter()
             .filter(|id| !seen.contains(id))
             .take(k)
@@ -64,7 +92,10 @@ mod tests {
             let a = log.session(2 * pair);
             let b = log.session(2 * pair + 1);
             for (id, _) in a.iter() {
-                assert!(b.judgment(id).is_none(), "image {id} re-judged within interaction");
+                assert!(
+                    b.judgment(id).is_none(),
+                    "image {id} re-judged within interaction"
+                );
             }
         }
     }
@@ -100,13 +131,43 @@ mod tests {
                 }
             }
         }
-        assert!(same_n > 0 && cross_n > 0, "log too sparse for the test setup");
+        assert!(
+            same_n > 0 && cross_n > 0,
+            "log too sparse for the test setup"
+        );
         let same_mean = same / same_n as f64;
         let cross_mean = cross / cross_n as f64;
         assert!(
             same_mean > cross_mean,
             "same-category affinity {same_mean} should exceed cross {cross_mean}"
         );
+    }
+
+    #[test]
+    fn flat_index_collection_reproduces_direct_collection() {
+        let ds = CorelDataset::build(CorelSpec::tiny(3, 8, 13));
+        let index = crate::retrieval::build_flat_index(&ds.db);
+        let c = cfg(12, 6, 2, 0.15, 7);
+        assert_eq!(
+            collect_log_with_index(&ds.db, &index, &c),
+            collect_log(&ds.db, &c)
+        );
+    }
+
+    #[test]
+    fn approximate_index_collection_has_configured_shape() {
+        let ds = CorelDataset::build(CorelSpec::tiny(3, 8, 13));
+        let index = crate::retrieval::build_ivf_index(
+            &ds.db,
+            &lrf_index::IvfConfig {
+                nlist: 4,
+                nprobe: 2,
+                ..Default::default()
+            },
+        );
+        let log = collect_log_with_index(&ds.db, &index, &cfg(9, 6, 2, 0.1, 2));
+        assert_eq!(log.n_sessions(), 9);
+        assert_eq!(log.n_images(), ds.db.len());
     }
 
     #[test]

@@ -42,14 +42,10 @@ impl RoundSelection {
     /// round selection is about *new* judgments, unlike the log-collection
     /// protocol where re-showing is realistic). Ties break by id for
     /// determinism.
-    pub fn select(
-        &self,
-        scores: &[f64],
-        judged: &HashSet<usize>,
-        k: usize,
-    ) -> Vec<usize> {
-        let mut candidates: Vec<usize> =
-            (0..scores.len()).filter(|id| !judged.contains(id)).collect();
+    pub fn select(&self, scores: &[f64], judged: &HashSet<usize>, k: usize) -> Vec<usize> {
+        let mut candidates: Vec<usize> = (0..scores.len())
+            .filter(|id| !judged.contains(id))
+            .collect();
         match self {
             RoundSelection::TopConfident => {
                 sort_by_key_desc(&mut candidates, |id| scores[id]);
@@ -67,8 +63,10 @@ impl RoundSelection {
                 sort_by_key_desc(&mut confident, |id| scores[id]);
                 confident.truncate(half);
                 let taken: HashSet<usize> = confident.iter().copied().collect();
-                let mut uncertain: Vec<usize> =
-                    candidates.into_iter().filter(|id| !taken.contains(id)).collect();
+                let mut uncertain: Vec<usize> = candidates
+                    .into_iter()
+                    .filter(|id| !taken.contains(id))
+                    .collect();
                 sort_by_key_asc(&mut uncertain, |id| scores[id].abs());
                 uncertain.truncate(k - confident.len());
                 confident.extend(uncertain);
@@ -80,13 +78,19 @@ impl RoundSelection {
 
 fn sort_by_key_desc(ids: &mut [usize], key: impl Fn(usize) -> f64) {
     ids.sort_by(|&a, &b| {
-        key(b).partial_cmp(&key(a)).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+        key(b)
+            .partial_cmp(&key(a))
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
     });
 }
 
 fn sort_by_key_asc(ids: &mut [usize], key: impl Fn(usize) -> f64) {
     ids.sort_by(|&a, &b| {
-        key(a).partial_cmp(&key(b)).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+        key(a)
+            .partial_cmp(&key(b))
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
     });
 }
 

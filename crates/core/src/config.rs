@@ -67,7 +67,10 @@ impl CoupledConfig {
     pub fn validate(&self) {
         assert!(self.c_content > 0.0, "c_content must be positive");
         assert!(self.c_log > 0.0, "c_log must be positive");
-        assert!(self.rho > 0.0 && self.rho_init > 0.0, "rho values must be positive");
+        assert!(
+            self.rho > 0.0 && self.rho_init > 0.0,
+            "rho values must be positive"
+        );
         assert!(self.rho_init <= self.rho, "rho_init must not exceed rho");
         assert!(self.delta >= 0.0, "delta must be nonnegative");
     }
@@ -177,21 +180,31 @@ mod tests {
     #[test]
     #[should_panic(expected = "rho_init")]
     fn rho_init_above_rho_rejected() {
-        let cfg = CoupledConfig { rho_init: 2.0, rho: 1.0, ..Default::default() };
+        let cfg = CoupledConfig {
+            rho_init: 2.0,
+            rho: 1.0,
+            ..Default::default()
+        };
         cfg.validate();
     }
 
     #[test]
     #[should_panic(expected = "c_content")]
     fn nonpositive_c_rejected() {
-        let cfg = CoupledConfig { c_content: 0.0, ..Default::default() };
+        let cfg = CoupledConfig {
+            c_content: 0.0,
+            ..Default::default()
+        };
         cfg.validate();
     }
 
     #[test]
     #[should_panic(expected = "unlabeled")]
     fn too_few_unlabeled_rejected() {
-        let cfg = LrfConfig { n_unlabeled: 1, ..Default::default() };
+        let cfg = LrfConfig {
+            n_unlabeled: 1,
+            ..Default::default()
+        };
         cfg.validate();
     }
 

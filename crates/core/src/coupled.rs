@@ -93,10 +93,26 @@ where
     K2: Kernel<S2> + Clone,
 {
     cfg.validate();
-    assert_eq!(labeled_a.len(), labeled_b.len(), "labeled modalities misaligned");
-    assert_eq!(labeled_a.len(), y.len(), "labels misaligned with labeled samples");
-    assert_eq!(unlabeled_a.len(), unlabeled_b.len(), "unlabeled modalities misaligned");
-    assert_eq!(unlabeled_a.len(), y_init.len(), "initial pseudo-labels misaligned");
+    assert_eq!(
+        labeled_a.len(),
+        labeled_b.len(),
+        "labeled modalities misaligned"
+    );
+    assert_eq!(
+        labeled_a.len(),
+        y.len(),
+        "labels misaligned with labeled samples"
+    );
+    assert_eq!(
+        unlabeled_a.len(),
+        unlabeled_b.len(),
+        "unlabeled modalities misaligned"
+    );
+    assert_eq!(
+        unlabeled_a.len(),
+        y_init.len(),
+        "initial pseudo-labels misaligned"
+    );
 
     let n_l = labeled_a.len();
     let n_u = unlabeled_a.len();
@@ -114,6 +130,7 @@ where
         final_labels: Vec::new(),
     };
 
+    #[allow(clippy::type_complexity)]
     let train_pair = |rho_star: f64,
                       y_prime: &[f64],
                       retrains: &mut usize|
@@ -122,9 +139,9 @@ where
         labels.extend_from_slice(y);
         labels.extend_from_slice(y_prime);
         let mut bounds_a = vec![cfg.c_content; n_l];
-        bounds_a.extend(std::iter::repeat(rho_star * cfg.c_content).take(n_u));
+        bounds_a.extend(std::iter::repeat_n(rho_star * cfg.c_content, n_u));
         let mut bounds_b = vec![cfg.c_log; n_l];
-        bounds_b.extend(std::iter::repeat(rho_star * cfg.c_log).take(n_u));
+        bounds_b.extend(std::iter::repeat_n(rho_star * cfg.c_log, n_u));
         let a = train(&all_a, &labels, &bounds_a, kernel_a.clone(), &cfg.smo)?;
         let b = train(&all_b, &labels, &bounds_b, kernel_b.clone(), &cfg.smo)?;
         *retrains += 1;
@@ -136,7 +153,11 @@ where
     if n_u == 0 {
         let (a, b) = train_pair(cfg.rho, &y_prime, &mut report.retrains)?;
         report.rho_steps = 1;
-        return Ok(CoupledOutcome { content: a, log: b, report });
+        return Ok(CoupledOutcome {
+            content: a,
+            log: b,
+            report,
+        });
     }
 
     let mut rho_star = cfg.rho_init.min(cfg.rho);
@@ -175,7 +196,11 @@ where
     }
 
     report.final_labels = y_prime;
-    Ok(CoupledOutcome { content: pair.0, log: pair.1, report })
+    Ok(CoupledOutcome {
+        content: pair.0,
+        log: pair.1,
+        report,
+    })
 }
 
 /// The inner correction loop of Fig. 1: while any unlabeled point has
@@ -231,6 +256,7 @@ mod tests {
 
     /// Two modalities that agree: content clusers at ±1, log vectors with
     /// matching session signatures.
+    #[allow(clippy::type_complexity)]
     fn agreeing_problem() -> (
         Vec<Vec<f64>>,
         Vec<SparseVector>,
@@ -281,7 +307,10 @@ mod tests {
         .unwrap();
         // Both machines classify the labeled data correctly.
         for (i, x) in la.iter().enumerate() {
-            assert!(out.content.model.decision(x) * y[i] > 0.0, "content sample {i}");
+            assert!(
+                out.content.model.decision(x) * y[i] > 0.0,
+                "content sample {i}"
+            );
         }
         for (i, r) in lb.iter().enumerate() {
             assert!(out.log.model.decision(r) * y[i] > 0.0, "log sample {i}");
@@ -289,7 +318,10 @@ mod tests {
         // Coupled score agrees with the shared structure.
         assert!(out.coupled_score(&ua[0], &ub[0]) > out.coupled_score(&ua[1], &ub[1]));
         assert!(out.report.retrains >= 1);
-        assert!(out.report.rho_steps >= 2, "annealing must take multiple steps");
+        assert!(
+            out.report.rho_steps >= 2,
+            "annealing must take multiple steps"
+        );
         assert_eq!(out.report.final_labels, vec![1.0, -1.0]);
     }
 
@@ -300,9 +332,11 @@ mod tests {
         // the other side.
         let (la, lb, y, ua, ub) = agreeing_problem();
         let (ka, kb) = kernels();
-        let cfg = CoupledConfig { delta: 1.0, ..Default::default() };
-        let out =
-            train_coupled(&la, &lb, &y, &ua, &ub, &[-1.0, 1.0], ka, kb, &cfg).unwrap();
+        let cfg = CoupledConfig {
+            delta: 1.0,
+            ..Default::default()
+        };
+        let out = train_coupled(&la, &lb, &y, &ua, &ub, &[-1.0, 1.0], ka, kb, &cfg).unwrap();
         assert_eq!(
             out.report.final_labels,
             vec![1.0, -1.0],
@@ -344,7 +378,11 @@ mod tests {
         let cfg = CoupledConfig::default();
         let out = train_coupled(&la, &lb, &y, &ua, &ub, &[1.0, -1.0], ka, kb, &cfg).unwrap();
         let expected = ((cfg.rho / cfg.rho_init).log2().ceil() as usize) + 1;
-        assert_eq!(out.report.rho_steps, expected, "steps {}", out.report.rho_steps);
+        assert_eq!(
+            out.report.rho_steps, expected,
+            "steps {}",
+            out.report.rho_steps
+        );
     }
 
     #[test]
@@ -352,11 +390,12 @@ mod tests {
         let (la, lb, y, ua, ub) = agreeing_problem();
         let (ka, kb) = kernels();
         let with_pass = CoupledConfig::default();
-        let without_pass = CoupledConfig { final_full_rho_pass: false, ..with_pass };
-        let a = train_coupled(&la, &lb, &y, &ua, &ub, &[1.0, -1.0], ka, kb, &with_pass)
-            .unwrap();
-        let b = train_coupled(&la, &lb, &y, &ua, &ub, &[1.0, -1.0], ka, kb, &without_pass)
-            .unwrap();
+        let without_pass = CoupledConfig {
+            final_full_rho_pass: false,
+            ..with_pass
+        };
+        let a = train_coupled(&la, &lb, &y, &ua, &ub, &[1.0, -1.0], ka, kb, &with_pass).unwrap();
+        let b = train_coupled(&la, &lb, &y, &ua, &ub, &[1.0, -1.0], ka, kb, &without_pass).unwrap();
         assert_eq!(a.report.rho_steps, b.report.rho_steps + 1);
     }
 
@@ -417,10 +456,17 @@ mod tests {
         // rho they pull the boundary. Verify the decision values differ.
         let (la, lb, y, ua, ub) = agreeing_problem();
         let (ka, kb) = kernels();
-        let weak = CoupledConfig { rho: 1e-4, rho_init: 1e-4, ..Default::default() };
-        let strong = CoupledConfig { rho: 2.0, rho_init: 1e-4, ..Default::default() };
-        let out_weak =
-            train_coupled(&la, &lb, &y, &ua, &ub, &[1.0, -1.0], ka, kb, &weak).unwrap();
+        let weak = CoupledConfig {
+            rho: 1e-4,
+            rho_init: 1e-4,
+            ..Default::default()
+        };
+        let strong = CoupledConfig {
+            rho: 2.0,
+            rho_init: 1e-4,
+            ..Default::default()
+        };
+        let out_weak = train_coupled(&la, &lb, &y, &ua, &ub, &[1.0, -1.0], ka, kb, &weak).unwrap();
         let out_strong =
             train_coupled(&la, &lb, &y, &ua, &ub, &[1.0, -1.0], ka, kb, &strong).unwrap();
         let probe = vec![0.5, 0.6];
@@ -439,7 +485,10 @@ mod tests {
         let (la, lb, y, ua, ub) = agreeing_problem();
         let (ka, kb) = kernels();
         let cfg = CoupledConfig {
-            smo: SmoParams { max_iter: 1, ..Default::default() },
+            smo: SmoParams {
+                max_iter: 1,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let out = train_coupled(&la, &lb, &y, &ua, &ub, &[1.0, -1.0], ka, kb, &cfg).unwrap();

@@ -32,12 +32,25 @@ mod tests {
         let ds = CorelDataset::build(CorelSpec::tiny(3, 6, 42));
         let log = collect_log(
             &ds.db,
-            &SimulationConfig { n_sessions: 4, judged_per_session: 4, rounds_per_query: 1, noise: 0.0, seed: 1 },
+            &SimulationConfig {
+                n_sessions: 4,
+                judged_per_session: 4,
+                rounds_per_query: 1,
+                noise: 0.0,
+                seed: 1,
+            },
         );
-        let proto = QueryProtocol { n_queries: 1, n_labeled: 4, seed: 0 };
+        let proto = QueryProtocol {
+            n_queries: 1,
+            n_labeled: 4,
+            seed: 0,
+        };
         let example = proto.feedback_example(&ds.db, 5);
-        let ranked =
-            EuclideanScheme.rank(&QueryContext { db: &ds.db, log: &log, example: &example });
+        let ranked = EuclideanScheme.rank(&QueryContext {
+            db: &ds.db,
+            log: &log,
+            example: &example,
+        });
         assert_eq!(ranked[0], 5);
         let mut sorted = ranked.clone();
         sorted.sort_unstable();

@@ -33,18 +33,36 @@ pub trait RelevanceFeedback {
     fn scores(&self, _ctx: &QueryContext<'_>) -> Option<Vec<f64>> {
         None
     }
+
+    /// Decision scores for a *subset* of images, aligned with `ids` — the
+    /// hook the index-fed candidate-pool re-rank (`pooled`) runs on. The
+    /// default scores the whole database and projects; the SVM schemes
+    /// override it to score only the candidates, which is where the
+    /// index's pruning actually pays off at scale.
+    fn score_ids(&self, ctx: &QueryContext<'_>, ids: &[usize]) -> Option<Vec<f64>> {
+        self.scores(ctx)
+            .map(|all| ids.iter().map(|&id| all[id]).collect())
+    }
+}
+
+/// Descending-score comparison that is a total order: NaN scores sort
+/// *after* every real score (a broken decision value must not surface an
+/// image, and a non-total comparator can panic inside `sort_by`). Shared
+/// by every ranking path so full and pooled rankings stay bit-identical.
+pub fn cmp_scores_desc(a: f64, b: f64) -> std::cmp::Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Greater,
+        (false, true) => std::cmp::Ordering::Less,
+        (false, false) => b.partial_cmp(&a).expect("both scores are non-NaN"),
+    }
 }
 
 /// Sorts image ids by descending score with deterministic id tie-breaking —
-/// the shared final step of every learning scheme.
+/// the shared final step of every learning scheme. NaN scores rank last.
 pub fn rank_by_scores(scores: &[f64]) -> Vec<usize> {
     let mut ids: Vec<usize> = (0..scores.len()).collect();
-    ids.sort_by(|&a, &b| {
-        scores[b]
-            .partial_cmp(&scores[a])
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.cmp(&b))
-    });
+    ids.sort_by(|&a, &b| cmp_scores_desc(scores[a], scores[b]).then(a.cmp(&b)));
     ids
 }
 
@@ -59,14 +77,12 @@ mod tests {
     }
 
     #[test]
-    fn rank_by_scores_handles_nan_without_panicking() {
-        // NaN scores compare "equal" and fall back to id ordering rather
-        // than panicking mid-query.
-        let ranked = rank_by_scores(&[f64::NAN, 1.0, f64::NAN]);
-        assert_eq!(ranked.len(), 3);
-        let mut sorted = ranked.clone();
-        sorted.sort_unstable();
-        assert_eq!(sorted, vec![0, 1, 2]);
+    fn rank_by_scores_puts_nan_last_deterministically() {
+        // A NaN decision value must neither panic the sort (the comparator
+        // is total) nor surface its image: NaNs rank after every real
+        // score, ties among them by id.
+        let ranked = rank_by_scores(&[f64::NAN, 1.0, f64::NAN, -5.0]);
+        assert_eq!(ranked, vec![1, 3, 0, 2]);
     }
 
     #[test]

@@ -28,7 +28,10 @@ impl LogRbfKernel {
     /// # Panics
     /// Panics unless `gamma` is positive and finite.
     pub fn new(gamma: f64) -> Self {
-        assert!(gamma > 0.0 && gamma.is_finite(), "gamma must be positive and finite");
+        assert!(
+            gamma > 0.0 && gamma.is_finite(),
+            "gamma must be positive and finite"
+        );
         Self { gamma }
     }
 }
@@ -77,7 +80,10 @@ impl LogCosineRbfKernel {
     /// # Panics
     /// Panics unless `gamma` is positive and finite.
     pub fn new(gamma: f64) -> Self {
-        assert!(gamma > 0.0 && gamma.is_finite(), "gamma must be positive and finite");
+        assert!(
+            gamma > 0.0 && gamma.is_finite(),
+            "gamma must be positive and finite"
+        );
         Self { gamma }
     }
 }

@@ -25,6 +25,10 @@
 //! * [`multi`] — the generalization the paper sketches ("naturally
 //!   generalized for learning on a multiple-modality problem"): a coupled
 //!   machine over *k* dense modalities.
+//! * [`pooled`] — the scale path: an `lrf-index` backend retrieves a
+//!   candidate pool, the scheme re-ranks only the pool
+//!   ([`feedback::RelevanceFeedback::score_ids`]); with the exact flat
+//!   backend and a full pool this reproduces the paper's ranking exactly.
 //!
 //! ## Quickstart
 //!
@@ -59,6 +63,7 @@ pub mod log_collection;
 pub mod lrf_2svms;
 pub mod lrf_csvm;
 pub mod multi;
+pub mod pooled;
 pub mod rf_svm;
 
 pub use active::RoundSelection;
@@ -70,4 +75,5 @@ pub use kernels::{LogCosineRbfKernel, LogKernel, LogLinearKernel, LogRbfKernel};
 pub use log_collection::collect_feedback_log;
 pub use lrf_2svms::Lrf2Svms;
 pub use lrf_csvm::LrfCsvm;
+pub use pooled::PooledRetrieval;
 pub use rf_svm::RfSvm;

@@ -42,7 +42,9 @@ pub fn collect_feedback_log(
     config: &SimulationConfig,
     lrf: &LrfConfig,
 ) -> LogStore {
-    let gamma = lrf.gamma_content.unwrap_or(1.0 / lrf_features::TOTAL_DIMS as f64);
+    let gamma = lrf
+        .gamma_content
+        .unwrap_or(1.0 / lrf_features::TOTAL_DIMS as f64);
     let sessions = simulate_sessions(config, db.categories(), |query, judged, k| {
         let ranking = if judged.is_empty() {
             rank_by_euclidean(db, db.feature(query))
@@ -69,16 +71,27 @@ fn refine_with_svm(
     lrf: &LrfConfig,
 ) -> Vec<usize> {
     // Deduplicate, last judgment wins; keep deterministic id order.
-    let mut latest: std::collections::BTreeMap<usize, Relevance> = std::collections::BTreeMap::new();
+    let mut latest: std::collections::BTreeMap<usize, Relevance> =
+        std::collections::BTreeMap::new();
     for &(id, r) in judged {
         latest.insert(id, r);
     }
     let samples: Vec<Vec<f64>> = latest.keys().map(|&id| db.feature(id).clone()).collect();
     let labels: Vec<f64> = latest.values().map(|r| r.sign()).collect();
     let bounds = vec![lrf.coupled.c_content; samples.len()];
-    let svm = train(&samples, &labels, &bounds, RbfKernel::new(gamma), &lrf.coupled.smo)
-        .expect("collection-time SVM cannot fail on validated judgments");
-    let scores: Vec<f64> = db.features().iter().map(|f| svm.model.decision(f)).collect();
+    let svm = train(
+        &samples,
+        &labels,
+        &bounds,
+        RbfKernel::new(gamma),
+        &lrf.coupled.smo,
+    )
+    .expect("collection-time SVM cannot fail on validated judgments");
+    let scores: Vec<f64> = db
+        .features()
+        .iter()
+        .map(|f| svm.model.decision(f))
+        .collect();
     crate::feedback::rank_by_scores(&scores)
 }
 
@@ -132,7 +145,10 @@ mod tests {
                 any_overlap = true;
             }
         }
-        assert!(any_overlap, "refined rounds should re-judge confirmed images");
+        assert!(
+            any_overlap,
+            "refined rounds should re-judge confirmed images"
+        );
     }
 
     #[test]
@@ -144,9 +160,8 @@ mod tests {
         let c = cfg(30, 10, 3, 0.0, 13);
         let refined = collect_feedback_log(&ds.db, &c, &LrfConfig::default());
         let content_only = lrf_cbir::collect_log(&ds.db, &c);
-        let count_relevant = |log: &LogStore| -> usize {
-            log.sessions().map(|s| s.n_relevant()).sum()
-        };
+        let count_relevant =
+            |log: &LogStore| -> usize { log.sessions().map(|s| s.n_relevant()).sum() };
         let r = count_relevant(&refined);
         let c0 = count_relevant(&content_only);
         assert!(

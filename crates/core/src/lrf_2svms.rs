@@ -30,10 +30,7 @@ impl Lrf2Svms {
 
     /// Trains the log-side SVM on the labeled round. Exposed for reuse by
     /// LRF-CSVM (this is its log-side initial model).
-    pub fn train_log_svm(
-        &self,
-        ctx: &QueryContext<'_>,
-    ) -> TrainedSvm<SparseVector, LogKernel> {
+    pub fn train_log_svm(&self, ctx: &QueryContext<'_>) -> TrainedSvm<SparseVector, LogKernel> {
         let samples: Vec<SparseVector> = ctx
             .example
             .labeled
@@ -57,7 +54,21 @@ impl Lrf2Svms {
         log: &lrf_logdb::LogStore,
         model: &SvmModel<SparseVector, LogKernel>,
     ) -> Vec<f64> {
-        log.log_vectors().iter().map(|r| model.decision(r)).collect()
+        log.log_vectors()
+            .iter()
+            .map(|r| model.decision(r))
+            .collect()
+    }
+
+    /// Scores a subset of images under a log model (aligned with `ids`).
+    pub fn score_subset_log(
+        log: &lrf_logdb::LogStore,
+        model: &SvmModel<SparseVector, LogKernel>,
+        ids: &[usize],
+    ) -> Vec<f64> {
+        ids.iter()
+            .map(|&id| model.decision(log.log_vector(id)))
+            .collect()
     }
 }
 
@@ -84,6 +95,20 @@ impl RelevanceFeedback for Lrf2Svms {
                 .collect(),
         )
     }
+
+    fn score_ids(&self, ctx: &QueryContext<'_>, ids: &[usize]) -> Option<Vec<f64>> {
+        let content = RfSvm::new(self.config).train_content_svm(ctx);
+        let logside = self.train_log_svm(ctx);
+        let content_scores = RfSvm::score_subset(ctx.db, &content.model, ids);
+        let log_scores = Self::score_subset_log(ctx.log, &logside.model, ids);
+        Some(
+            content_scores
+                .iter()
+                .zip(&log_scores)
+                .map(|(c, l)| c + l)
+                .collect(),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -96,7 +121,13 @@ mod tests {
         let ds = CorelDataset::build(CorelSpec::tiny(4, 12, 19));
         let log = collect_log(
             &ds.db,
-            &SimulationConfig { n_sessions: sessions, judged_per_session: 10, rounds_per_query: 2, noise, seed: 23 },
+            &SimulationConfig {
+                n_sessions: sessions,
+                judged_per_session: 10,
+                rounds_per_query: 2,
+                noise,
+                seed: 23,
+            },
         );
         (ds, log)
     }
@@ -104,10 +135,17 @@ mod tests {
     #[test]
     fn rank_is_a_permutation() {
         let (ds, log) = setup(0.1, 12);
-        let proto = QueryProtocol { n_queries: 1, n_labeled: 8, seed: 0 };
+        let proto = QueryProtocol {
+            n_queries: 1,
+            n_labeled: 8,
+            seed: 0,
+        };
         let example = proto.feedback_example(&ds.db, 3);
-        let ranked =
-            Lrf2Svms::default().rank(&QueryContext { db: &ds.db, log: &log, example: &example });
+        let ranked = Lrf2Svms::default().rank(&QueryContext {
+            db: &ds.db,
+            log: &log,
+            example: &example,
+        });
         let mut sorted = ranked.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..ds.db.len()).collect::<Vec<_>>());
@@ -119,7 +157,11 @@ mod tests {
         // With a dense enough clean log, LRF-2SVMs must beat RF-SVM on
         // average precision — the paper's first empirical claim.
         let (ds, log) = setup(0.0, 60);
-        let proto = QueryProtocol { n_queries: 8, n_labeled: 10, seed: 77 };
+        let proto = QueryProtocol {
+            n_queries: 8,
+            n_labeled: 10,
+            seed: 77,
+        };
         let two = Lrf2Svms::default();
         let rf = RfSvm::default();
         let mut p_two = 0.0;
@@ -127,7 +169,11 @@ mod tests {
         let queries = proto.sample_queries(&ds.db);
         for &q in &queries {
             let example = proto.feedback_example(&ds.db, q);
-            let ctx = QueryContext { db: &ds.db, log: &log, example: &example };
+            let ctx = QueryContext {
+                db: &ds.db,
+                log: &log,
+                example: &example,
+            };
             let rel = |id: usize| ds.db.same_category(id, q);
             p_two += precision_at(&two.rank(&ctx), rel, 12);
             p_rf += precision_at(&rf.rank(&ctx), rel, 12);
@@ -144,10 +190,17 @@ mod tests {
         // single point; ranking must still be a valid permutation.
         let ds = CorelDataset::build(CorelSpec::tiny(3, 6, 4));
         let log = lrf_logdb::LogStore::new(ds.db.len());
-        let proto = QueryProtocol { n_queries: 1, n_labeled: 6, seed: 0 };
+        let proto = QueryProtocol {
+            n_queries: 1,
+            n_labeled: 6,
+            seed: 0,
+        };
         let example = proto.feedback_example(&ds.db, 1);
-        let ranked =
-            Lrf2Svms::default().rank(&QueryContext { db: &ds.db, log: &log, example: &example });
+        let ranked = Lrf2Svms::default().rank(&QueryContext {
+            db: &ds.db,
+            log: &log,
+            example: &example,
+        });
         assert_eq!(ranked.len(), ds.db.len());
     }
 }

@@ -22,7 +22,7 @@
 
 use crate::config::{LrfConfig, PseudoLabelInit, UnlabeledSelection};
 use crate::coupled::{train_coupled, CoupledOutcome, TrainReport};
-use crate::feedback::{rank_by_scores, QueryContext, RelevanceFeedback};
+use crate::feedback::{QueryContext, RelevanceFeedback};
 use crate::lrf_2svms::Lrf2Svms;
 use crate::rf_svm::RfSvm;
 use lrf_logdb::SparseVector;
@@ -58,33 +58,68 @@ impl LrfCsvm {
 
     /// Runs the full algorithm, returning ranking + diagnostics.
     pub fn run(&self, ctx: &QueryContext<'_>) -> LrfCsvmOutcome {
+        self.run_on(ctx, None)
+    }
+
+    /// Runs the algorithm restricted to a candidate `pool` (typically the
+    /// top candidates of an ANN index): unlabeled selection, and the final
+    /// `CSVM_Dist` scoring/ranking, only touch pool members — the scale
+    /// path where the index's pruning carries through the learning stack.
+    /// `scores`/`ranking` in the outcome are aligned with/permutations of
+    /// `pool`.
+    pub fn run_pooled(&self, ctx: &QueryContext<'_>, pool: &[usize]) -> LrfCsvmOutcome {
+        self.run_on(ctx, Some(pool))
+    }
+
+    fn run_on(&self, ctx: &QueryContext<'_>, universe: Option<&[usize]>) -> LrfCsvmOutcome {
         let cfg = &self.config;
         let db = ctx.db;
+        let universe: Vec<usize> =
+            universe.map_or_else(|| (0..db.len()).collect(), <[usize]>::to_vec);
 
         // ---- Step 1: initial per-modality SVMs on the labeled round. ----
         let content0 = RfSvm::new(*cfg).train_content_svm(ctx);
         let log0 = Lrf2Svms::new(*cfg).train_log_svm(ctx);
 
-        let content_scores = RfSvm::score_all(db, &content0.model);
-        let log_scores = Lrf2Svms::score_all_log(ctx.log, &log0.model);
-        let dist: Vec<f64> =
-            content_scores.iter().zip(&log_scores).map(|(c, l)| c + l).collect();
+        let content_scores = RfSvm::score_subset(db, &content0.model, &universe);
+        let log_scores = Lrf2Svms::score_subset_log(ctx.log, &log0.model, &universe);
+        let labeled: std::collections::HashSet<usize> =
+            ctx.example.labeled.iter().map(|&(id, _)| id).collect();
+        let scored: Vec<(usize, f64)> = universe
+            .iter()
+            .zip(content_scores.iter().zip(&log_scores))
+            .filter(|(id, _)| !labeled.contains(id))
+            .map(|(&id, (c, l))| (id, c + l))
+            .collect();
 
-        let (unlabeled_ids, y_init) = self.select_unlabeled(ctx, &dist);
+        let (unlabeled_ids, y_init) = self.select_unlabeled_in(ctx, scored);
 
         // ---- Step 2: coupled training. ----
-        let labeled_x: Vec<Vec<f64>> =
-            ctx.example.labeled.iter().map(|&(id, _)| db.feature(id).clone()).collect();
-        let labeled_r: Vec<SparseVector> =
-            ctx.example.labeled.iter().map(|&(id, _)| ctx.log.log_vector(id).clone()).collect();
+        let labeled_x: Vec<Vec<f64>> = ctx
+            .example
+            .labeled
+            .iter()
+            .map(|&(id, _)| db.feature(id).clone())
+            .collect();
+        let labeled_r: Vec<SparseVector> = ctx
+            .example
+            .labeled
+            .iter()
+            .map(|&(id, _)| ctx.log.log_vector(id).clone())
+            .collect();
         let y: Vec<f64> = ctx.example.labeled.iter().map(|&(_, l)| l).collect();
-        let unl_x: Vec<Vec<f64>> =
-            unlabeled_ids.iter().map(|&id| db.feature(id).clone()).collect();
-        let unl_r: Vec<SparseVector> =
-            unlabeled_ids.iter().map(|&id| ctx.log.log_vector(id).clone()).collect();
+        let unl_x: Vec<Vec<f64>> = unlabeled_ids
+            .iter()
+            .map(|&id| db.feature(id).clone())
+            .collect();
+        let unl_r: Vec<SparseVector> = unlabeled_ids
+            .iter()
+            .map(|&id| ctx.log.log_vector(id).clone())
+            .collect();
 
-        let gamma_content =
-            cfg.gamma_content.unwrap_or(1.0 / lrf_features::TOTAL_DIMS as f64);
+        let gamma_content = cfg
+            .gamma_content
+            .unwrap_or(1.0 / lrf_features::TOTAL_DIMS as f64);
         let outcome: CoupledOutcome<_, _, _, _> = train_coupled(
             &labeled_x,
             &labeled_r,
@@ -98,59 +133,71 @@ impl LrfCsvm {
         )
         .expect("coupled training cannot fail on validated feedback rounds");
 
-        // ---- Step 3: rank by CSVM_Dist over the whole database. ----
-        let scores: Vec<f64> = db
-            .features()
+        // ---- Step 3: rank by CSVM_Dist over the retrieval universe. ----
+        let scores: Vec<f64> = universe
             .iter()
-            .zip(ctx.log.log_vectors())
-            .map(|(x, r)| outcome.coupled_score(x, r))
+            .map(|&id| outcome.coupled_score(db.feature(id), ctx.log.log_vector(id)))
             .collect();
+        // Order universe members by descending score, ties by id — for the
+        // full universe this is exactly rank_by_scores.
+        let mut order: Vec<usize> = (0..universe.len()).collect();
+        order.sort_by(|&a, &b| {
+            crate::feedback::cmp_scores_desc(scores[a], scores[b])
+                .then(universe[a].cmp(&universe[b]))
+        });
+        let ranking: Vec<usize> = order.into_iter().map(|i| universe[i]).collect();
 
         LrfCsvmOutcome {
-            ranking: rank_by_scores(&scores),
+            ranking,
             scores,
             unlabeled_ids,
             report: outcome.report,
         }
     }
 
-    /// Step 1's selection: returns `(ids, initial pseudo-labels)`.
-    fn select_unlabeled(
-        &self,
-        ctx: &QueryContext<'_>,
-        dist: &[f64],
-    ) -> (Vec<usize>, Vec<f64>) {
+    /// Step 1's selection over the full database (exercised directly by
+    /// the selection-invariant tests): `dist[id]` is the combined SVM
+    /// distance of image `id`.
+    #[cfg(test)]
+    fn select_unlabeled(&self, ctx: &QueryContext<'_>, dist: &[f64]) -> (Vec<usize>, Vec<f64>) {
         let labeled: std::collections::HashSet<usize> =
             ctx.example.labeled.iter().map(|&(id, _)| id).collect();
-        // Candidates sorted by descending combined distance, ties by id.
-        let mut candidates: Vec<usize> =
-            (0..dist.len()).filter(|id| !labeled.contains(id)).collect();
-        candidates.sort_by(|&a, &b| {
-            dist[b].partial_cmp(&dist[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
-        });
+        let scored: Vec<(usize, f64)> = dist
+            .iter()
+            .enumerate()
+            .filter(|(id, _)| !labeled.contains(id))
+            .map(|(id, &d)| (id, d))
+            .collect();
+        self.select_unlabeled_in(ctx, scored)
+    }
 
-        let n = self.config.n_unlabeled.min(candidates.len());
+    /// Step 1's selection over explicit `(id, combined distance)`
+    /// candidates: returns `(ids, initial pseudo-labels)`.
+    fn select_unlabeled_in(
+        &self,
+        ctx: &QueryContext<'_>,
+        mut scored: Vec<(usize, f64)>,
+    ) -> (Vec<usize>, Vec<f64>) {
+        // Candidates sorted by descending combined distance, ties by id
+        // (total order: a NaN distance sorts last, never panics the sort).
+        scored.sort_by(|a, b| crate::feedback::cmp_scores_desc(a.1, b.1).then(a.0.cmp(&b.0)));
+
+        let n = self.config.n_unlabeled.min(scored.len());
         if n == 0 {
             return (Vec::new(), Vec::new());
         }
 
-        let ids: Vec<usize> = match self.config.selection {
+        let chosen: Vec<(usize, f64)> = match self.config.selection {
             UnlabeledSelection::MaxMinCombinedDistance => {
                 let n_top = n / 2;
                 let n_bottom = n - n_top;
-                let mut ids: Vec<usize> = candidates[..n_top].to_vec();
-                ids.extend_from_slice(&candidates[candidates.len() - n_bottom..]);
-                ids
+                let mut chosen: Vec<(usize, f64)> = scored[..n_top].to_vec();
+                chosen.extend_from_slice(&scored[scored.len() - n_bottom..]);
+                chosen
             }
             UnlabeledSelection::ClosestToBoundary => {
-                let mut by_abs = candidates.clone();
-                by_abs.sort_by(|&a, &b| {
-                    dist[a]
-                        .abs()
-                        .partial_cmp(&dist[b].abs())
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then(a.cmp(&b))
-                });
+                let mut by_abs = scored.clone();
+                by_abs.sort_by(|a, b| a.1.abs().total_cmp(&b.1.abs()).then(a.0.cmp(&b.0)));
                 by_abs.truncate(n);
                 by_abs
             }
@@ -160,7 +207,10 @@ impl LrfCsvm {
                 let mut rng = rand::rngs::StdRng::seed_from_u64(
                     self.config.random_init_seed ^ ctx.example.query as u64,
                 );
-                let mut shuffled = candidates.clone();
+                // Shuffle in id order so the draw is independent of the
+                // caller's candidate ordering.
+                let mut shuffled = scored.clone();
+                shuffled.sort_by_key(|&(id, _)| id);
                 shuffled.shuffle(&mut rng);
                 shuffled.truncate(n);
                 shuffled
@@ -179,14 +229,19 @@ impl LrfCsvm {
                 let mut rng = rand::rngs::StdRng::seed_from_u64(
                     self.config.random_init_seed ^ (ctx.example.query as u64).rotate_left(17),
                 );
-                (0..n).map(|_| if rng.gen_bool(0.5) { 1.0 } else { -1.0 }).collect()
+                (0..n)
+                    .map(|_| if rng.gen_bool(0.5) { 1.0 } else { -1.0 })
+                    .collect()
             }
             // ByDistanceSign, and the fallback for BySelectionSide under
             // non-max/min selections.
-            _ => ids.iter().map(|&id| if dist[id] >= 0.0 { 1.0 } else { -1.0 }).collect(),
+            _ => chosen
+                .iter()
+                .map(|&(_, d)| if d >= 0.0 { 1.0 } else { -1.0 })
+                .collect(),
         };
 
-        (ids, y_init)
+        (chosen.into_iter().map(|(id, _)| id).collect(), y_init)
     }
 }
 
@@ -202,6 +257,10 @@ impl RelevanceFeedback for LrfCsvm {
     fn scores(&self, ctx: &QueryContext<'_>) -> Option<Vec<f64>> {
         Some(self.run(ctx).scores)
     }
+
+    fn score_ids(&self, ctx: &QueryContext<'_>, ids: &[usize]) -> Option<Vec<f64>> {
+        Some(self.run_pooled(ctx, ids).scores)
+    }
 }
 
 #[cfg(test)]
@@ -214,7 +273,13 @@ mod tests {
         let ds = CorelDataset::build(CorelSpec::tiny(4, 12, 19));
         let log = collect_log(
             &ds.db,
-            &SimulationConfig { n_sessions: sessions, judged_per_session: 10, rounds_per_query: 2, noise, seed: 23 },
+            &SimulationConfig {
+                n_sessions: sessions,
+                judged_per_session: 10,
+                rounds_per_query: 2,
+                noise,
+                seed: 23,
+            },
         );
         (ds, log)
     }
@@ -236,10 +301,18 @@ mod tests {
     #[test]
     fn rank_is_a_permutation_with_diagnostics() {
         let (ds, log) = setup(0.1, 20);
-        let proto = QueryProtocol { n_queries: 1, n_labeled: 8, seed: 0 };
+        let proto = QueryProtocol {
+            n_queries: 1,
+            n_labeled: 8,
+            seed: 0,
+        };
         let example = proto.feedback_example(&ds.db, 7);
         let scheme = LrfCsvm::new(small_config());
-        let out = scheme.run(&QueryContext { db: &ds.db, log: &log, example: &example });
+        let out = scheme.run(&QueryContext {
+            db: &ds.db,
+            log: &log,
+            example: &example,
+        });
         let mut sorted = out.ranking.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..ds.db.len()).collect::<Vec<_>>());
@@ -251,12 +324,23 @@ mod tests {
     #[test]
     fn unlabeled_pool_excludes_labeled_images() {
         let (ds, log) = setup(0.0, 20);
-        let proto = QueryProtocol { n_queries: 1, n_labeled: 10, seed: 0 };
+        let proto = QueryProtocol {
+            n_queries: 1,
+            n_labeled: 10,
+            seed: 0,
+        };
         let example = proto.feedback_example(&ds.db, 3);
         let scheme = LrfCsvm::new(small_config());
-        let out = scheme.run(&QueryContext { db: &ds.db, log: &log, example: &example });
+        let out = scheme.run(&QueryContext {
+            db: &ds.db,
+            log: &log,
+            example: &example,
+        });
         for &(id, _) in &example.labeled {
-            assert!(!out.unlabeled_ids.contains(&id), "labeled id {id} leaked into pool");
+            assert!(
+                !out.unlabeled_ids.contains(&id),
+                "labeled id {id} leaked into pool"
+            );
         }
         // no duplicates
         let mut ids = out.unlabeled_ids.clone();
@@ -268,9 +352,17 @@ mod tests {
     #[test]
     fn selection_strategies_differ() {
         let (ds, log) = setup(0.0, 20);
-        let proto = QueryProtocol { n_queries: 1, n_labeled: 8, seed: 0 };
+        let proto = QueryProtocol {
+            n_queries: 1,
+            n_labeled: 8,
+            seed: 0,
+        };
         let example = proto.feedback_example(&ds.db, 5);
-        let ctx = QueryContext { db: &ds.db, log: &log, example: &example };
+        let ctx = QueryContext {
+            db: &ds.db,
+            log: &log,
+            example: &example,
+        };
         let maxmin = LrfCsvm::new(small_config()).run(&ctx).unlabeled_ids;
         let boundary = LrfCsvm::new(LrfConfig {
             selection: UnlabeledSelection::ClosestToBoundary,
@@ -284,11 +376,19 @@ mod tests {
     #[test]
     fn selection_side_init_labels_match_pool_order() {
         let (ds, log) = setup(0.0, 20);
-        let proto = QueryProtocol { n_queries: 1, n_labeled: 8, seed: 0 };
+        let proto = QueryProtocol {
+            n_queries: 1,
+            n_labeled: 8,
+            seed: 0,
+        };
         let example = proto.feedback_example(&ds.db, 5);
         let cfg = small_config();
         let scheme = LrfCsvm::new(cfg);
-        let ctx = QueryContext { db: &ds.db, log: &log, example: &example };
+        let ctx = QueryContext {
+            db: &ds.db,
+            log: &log,
+            example: &example,
+        };
 
         // Reproduce step 1 manually to check the split.
         let content0 = RfSvm::new(cfg).train_content_svm(&ctx);
@@ -298,12 +398,14 @@ mod tests {
         let dist: Vec<f64> = cs.iter().zip(&ls).map(|(a, b)| a + b).collect();
         let (ids, init) = scheme.select_unlabeled(&ctx, &dist);
         let n_top = ids.len() / 2;
-        for i in 0..ids.len() {
-            assert_eq!(init[i], if i < n_top { 1.0 } else { -1.0 });
+        for (i, y0) in init.iter().enumerate() {
+            assert_eq!(*y0, if i < n_top { 1.0 } else { -1.0 });
         }
         // Top half really does have larger dist than bottom half.
-        let top_min =
-            ids[..n_top].iter().map(|&id| dist[id]).fold(f64::INFINITY, f64::min);
+        let top_min = ids[..n_top]
+            .iter()
+            .map(|&id| dist[id])
+            .fold(f64::INFINITY, f64::min);
         let bottom_max = ids[n_top..]
             .iter()
             .map(|&id| dist[id])
@@ -314,7 +416,11 @@ mod tests {
     #[test]
     fn beats_or_matches_rf_svm_with_clean_log() {
         let (ds, log) = setup(0.0, 60);
-        let proto = QueryProtocol { n_queries: 8, n_labeled: 10, seed: 13 };
+        let proto = QueryProtocol {
+            n_queries: 8,
+            n_labeled: 10,
+            seed: 13,
+        };
         let lrf = LrfCsvm::new(small_config());
         let rf = crate::rf_svm::RfSvm::default();
         let mut p_lrf = 0.0;
@@ -322,7 +428,11 @@ mod tests {
         let queries = proto.sample_queries(&ds.db);
         for &q in &queries {
             let example = proto.feedback_example(&ds.db, q);
-            let ctx = QueryContext { db: &ds.db, log: &log, example: &example };
+            let ctx = QueryContext {
+                db: &ds.db,
+                log: &log,
+                example: &example,
+            };
             let rel = |id: usize| ds.db.same_category(id, q);
             p_lrf += precision_at(&lrf.rank(&ctx), rel, 12);
             p_rf += precision_at(&rf.rank(&ctx), rel, 12);
@@ -337,10 +447,17 @@ mod tests {
     fn empty_log_still_produces_valid_ranking() {
         let ds = CorelDataset::build(CorelSpec::tiny(3, 6, 4));
         let log = LogStore::new(ds.db.len());
-        let proto = QueryProtocol { n_queries: 1, n_labeled: 6, seed: 0 };
+        let proto = QueryProtocol {
+            n_queries: 1,
+            n_labeled: 6,
+            seed: 0,
+        };
         let example = proto.feedback_example(&ds.db, 1);
-        let ranked = LrfCsvm::new(small_config())
-            .rank(&QueryContext { db: &ds.db, log: &log, example: &example });
+        let ranked = LrfCsvm::new(small_config()).rank(&QueryContext {
+            db: &ds.db,
+            log: &log,
+            example: &example,
+        });
         assert_eq!(ranked.len(), ds.db.len());
     }
 
@@ -349,21 +466,42 @@ mod tests {
         // Database smaller than n_unlabeled + labeled: pool must clamp.
         let ds = CorelDataset::build(CorelSpec::tiny(2, 5, 6));
         let log = LogStore::new(ds.db.len());
-        let proto = QueryProtocol { n_queries: 1, n_labeled: 6, seed: 0 };
+        let proto = QueryProtocol {
+            n_queries: 1,
+            n_labeled: 6,
+            seed: 0,
+        };
         let example = proto.feedback_example(&ds.db, 0);
-        let cfg = LrfConfig { n_unlabeled: 100, ..small_config() };
-        let out =
-            LrfCsvm::new(cfg).run(&QueryContext { db: &ds.db, log: &log, example: &example });
+        let cfg = LrfConfig {
+            n_unlabeled: 100,
+            ..small_config()
+        };
+        let out = LrfCsvm::new(cfg).run(&QueryContext {
+            db: &ds.db,
+            log: &log,
+            example: &example,
+        });
         assert_eq!(out.unlabeled_ids.len(), ds.db.len() - 6);
     }
 
     #[test]
     fn random_selection_is_deterministic_per_query() {
         let (ds, log) = setup(0.0, 10);
-        let proto = QueryProtocol { n_queries: 1, n_labeled: 8, seed: 0 };
+        let proto = QueryProtocol {
+            n_queries: 1,
+            n_labeled: 8,
+            seed: 0,
+        };
         let example = proto.feedback_example(&ds.db, 2);
-        let cfg = LrfConfig { selection: UnlabeledSelection::Random, ..small_config() };
-        let ctx = QueryContext { db: &ds.db, log: &log, example: &example };
+        let cfg = LrfConfig {
+            selection: UnlabeledSelection::Random,
+            ..small_config()
+        };
+        let ctx = QueryContext {
+            db: &ds.db,
+            log: &log,
+            example: &example,
+        };
         let a = LrfCsvm::new(cfg).run(&ctx).unlabeled_ids;
         let b = LrfCsvm::new(cfg).run(&ctx).unlabeled_ids;
         assert_eq!(a, b);

@@ -34,9 +34,7 @@ impl Kernel<Vec<f64>> for DenseKernel {
     fn compute(&self, a: &Vec<f64>, b: &Vec<f64>) -> f64 {
         match self {
             DenseKernel::Linear => lrf_svm::kernel::dot(a, b),
-            DenseKernel::Rbf { gamma } => {
-                (-gamma * lrf_svm::kernel::squared_distance(a, b)).exp()
-            }
+            DenseKernel::Rbf { gamma } => (-gamma * lrf_svm::kernel::squared_distance(a, b)).exp(),
         }
     }
 }
@@ -102,7 +100,11 @@ impl MultiCoupledOutcome {
     /// # Panics
     /// Panics if `views.len()` differs from the number of modalities.
     pub fn coupled_score(&self, views: &[Vec<f64>]) -> f64 {
-        assert_eq!(views.len(), self.machines.len(), "one view per modality required");
+        assert_eq!(
+            views.len(),
+            self.machines.len(),
+            "one view per modality required"
+        );
         self.machines
             .iter()
             .zip(views)
@@ -130,12 +132,23 @@ pub fn train_multi_coupled(
     cfg: &MultiCoupledConfig,
 ) -> Result<MultiCoupledOutcome, SvmError> {
     assert!(!modalities.is_empty(), "need at least one modality");
-    assert!(cfg.rho > 0.0 && cfg.rho_init > 0.0 && cfg.rho_init <= cfg.rho, "bad rho schedule");
+    assert!(
+        cfg.rho > 0.0 && cfg.rho_init > 0.0 && cfg.rho_init <= cfg.rho,
+        "bad rho schedule"
+    );
     let n_l = y.len();
     let n_u = y_init.len();
     for (m, data) in modalities.iter().enumerate() {
-        assert_eq!(data.labeled.len(), n_l, "modality {m} labeled count mismatch");
-        assert_eq!(data.unlabeled.len(), n_u, "modality {m} unlabeled count mismatch");
+        assert_eq!(
+            data.labeled.len(),
+            n_l,
+            "modality {m} labeled count mismatch"
+        );
+        assert_eq!(
+            data.unlabeled.len(),
+            n_u,
+            "modality {m} unlabeled count mismatch"
+        );
         assert!(data.c > 0.0, "modality {m} penalty must be positive");
     }
 
@@ -164,7 +177,7 @@ pub fn train_multi_coupled(
         let mut out = Vec::with_capacity(modalities.len());
         for (m, data) in modalities.iter().enumerate() {
             let mut bounds = vec![data.c; n_l];
-            bounds.extend(std::iter::repeat(rho_star * data.c).take(n_u));
+            bounds.extend(std::iter::repeat_n(rho_star * data.c, n_u));
             out.push(train(&all[m], &labels, &bounds, data.kernel, &cfg.smo)?);
         }
         *retrains += 1;
@@ -259,8 +272,7 @@ mod tests {
     #[test]
     fn trains_k_machines_consistently() {
         let (mods, y, y_init) = three_modality_problem();
-        let out =
-            train_multi_coupled(&mods, &y, &y_init, &MultiCoupledConfig::default()).unwrap();
+        let out = train_multi_coupled(&mods, &y, &y_init, &MultiCoupledConfig::default()).unwrap();
         assert_eq!(out.machines.len(), 3);
         for (m, data) in out.machines.iter().zip(&mods) {
             for (x, &label) in data.labeled.iter().zip(&y) {
@@ -278,7 +290,10 @@ mod tests {
         // expect corrections.
         let (mut mods, y, _) = three_modality_problem();
         mods.truncate(2);
-        let cfg = MultiCoupledConfig { delta: 1.0, ..Default::default() };
+        let cfg = MultiCoupledConfig {
+            delta: 1.0,
+            ..Default::default()
+        };
         let out = train_multi_coupled(&mods, &y, &[-1.0, 1.0], &cfg).unwrap();
         assert_eq!(out.report.final_labels, vec![1.0, -1.0]);
         assert!(out.report.flips >= 2);
@@ -290,8 +305,7 @@ mod tests {
         for m in &mut mods {
             m.unlabeled.clear();
         }
-        let out =
-            train_multi_coupled(&mods, &y, &[], &MultiCoupledConfig::default()).unwrap();
+        let out = train_multi_coupled(&mods, &y, &[], &MultiCoupledConfig::default()).unwrap();
         assert_eq!(out.report.rho_steps, 1);
     }
 
@@ -307,8 +321,7 @@ mod tests {
     #[should_panic(expected = "one view per modality")]
     fn score_requires_all_views() {
         let (mods, y, y_init) = three_modality_problem();
-        let out =
-            train_multi_coupled(&mods, &y, &y_init, &MultiCoupledConfig::default()).unwrap();
+        let out = train_multi_coupled(&mods, &y, &y_init, &MultiCoupledConfig::default()).unwrap();
         let _ = out.coupled_score(&[vec![0.0, 0.0]]);
     }
 
@@ -316,8 +329,7 @@ mod tests {
     fn single_modality_reduces_to_plain_transductive_svm() {
         let (mut mods, y, y_init) = three_modality_problem();
         mods.truncate(1);
-        let out =
-            train_multi_coupled(&mods, &y, &y_init, &MultiCoupledConfig::default()).unwrap();
+        let out = train_multi_coupled(&mods, &y, &y_init, &MultiCoupledConfig::default()).unwrap();
         assert_eq!(out.machines.len(), 1);
         for (x, &label) in mods[0].labeled.iter().zip(&y) {
             assert!(out.machines[0].model.decision(x) * label > 0.0);

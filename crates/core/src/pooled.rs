@@ -1,0 +1,278 @@
+//! Index-fed candidate-pool re-ranking.
+//!
+//! At scale, no relevance-feedback scheme can afford to score every image
+//! per query. The production path is the two-stage architecture the
+//! related systems (PinView; Barz & Denzler) assume:
+//!
+//! 1. an [`AnnIndex`] retrieves a candidate pool — `pool_size` nearest
+//!    neighbors of the query feature (sublinear for IVF/LSH);
+//! 2. the learned scheme scores *only the pool*
+//!    ([`RelevanceFeedback::score_ids`]) and re-ranks it; images outside
+//!    the pool trail in id order (every evaluation cutoff that matters is
+//!    well inside the pool).
+//!
+//! With the exact flat backend and `pool_size ≥ N` this degrades — by
+//! construction, not by accident — to the paper's full ranking, so the
+//! pooled path is a strict generalization of the reproduction.
+
+use crate::feedback::{QueryContext, RelevanceFeedback};
+use lrf_index::AnnIndex;
+
+/// The two-stage (index → re-rank) retrieval driver.
+#[derive(Clone, Copy)]
+pub struct PooledRetrieval<'a> {
+    /// Candidate generator.
+    pub index: &'a dyn AnnIndex,
+    /// Candidates fetched per query (clamped to the database size).
+    pub pool_size: usize,
+}
+
+impl<'a> PooledRetrieval<'a> {
+    /// Creates the driver.
+    pub fn new(index: &'a dyn AnnIndex, pool_size: usize) -> Self {
+        assert!(pool_size > 0, "pool size must be positive");
+        Self { index, pool_size }
+    }
+
+    /// The candidate pool for a query: the index's nearest neighbors of
+    /// the query feature, in index (distance) order, with the round's
+    /// labeled ids appended if an approximate backend missed any — the
+    /// scheme trained on them, so they must be rankable.
+    pub fn pool(&self, ctx: &QueryContext<'_>) -> Vec<usize> {
+        let query_feature = ctx.db.feature_row(ctx.example.query);
+        let mut pool: Vec<usize> = self
+            .index
+            .search(query_feature, self.pool_size.min(ctx.db.len()))
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect();
+        let mut in_pool = vec![false; ctx.db.len()];
+        for &id in &pool {
+            in_pool[id] = true;
+        }
+        for &(id, _) in &ctx.example.labeled {
+            if !in_pool[id] {
+                in_pool[id] = true;
+                pool.push(id);
+            }
+        }
+        pool
+    }
+
+    /// Full-database ranking: pool members re-ranked by the scheme's
+    /// subset scores (descending, ties by id), then every out-of-pool id
+    /// ascending. Schemes without a decision function (Euclidean) keep the
+    /// pool's distance order, which *is* their ranking.
+    pub fn rank<S: RelevanceFeedback + ?Sized>(
+        &self,
+        scheme: &S,
+        ctx: &QueryContext<'_>,
+    ) -> Vec<usize> {
+        let pool = self.pool(ctx);
+        let mut head = match scheme.score_ids(ctx, &pool) {
+            Some(scores) => {
+                let mut order: Vec<usize> = (0..pool.len()).collect();
+                order.sort_by(|&a, &b| {
+                    crate::feedback::cmp_scores_desc(scores[a], scores[b])
+                        .then(pool[a].cmp(&pool[b]))
+                });
+                order.into_iter().map(|i| pool[i]).collect::<Vec<usize>>()
+            }
+            None => pool,
+        };
+        let mut in_head = vec![false; ctx.db.len()];
+        for &id in &head {
+            in_head[id] = true;
+        }
+        head.extend((0..ctx.db.len()).filter(|&id| !in_head[id]));
+        head
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LrfConfig;
+    use crate::euclidean::EuclideanScheme;
+    use crate::lrf_csvm::LrfCsvm;
+    use crate::rf_svm::RfSvm;
+    use lrf_cbir::{collect_log, precision_at, CorelDataset, CorelSpec, QueryProtocol};
+    use lrf_logdb::SimulationConfig;
+
+    fn setup() -> (CorelDataset, lrf_logdb::LogStore) {
+        let ds = CorelDataset::build(CorelSpec::tiny(4, 12, 19));
+        let log = collect_log(
+            &ds.db,
+            &SimulationConfig {
+                n_sessions: 24,
+                judged_per_session: 10,
+                rounds_per_query: 2,
+                noise: 0.1,
+                seed: 23,
+            },
+        );
+        (ds, log)
+    }
+
+    fn small_config() -> LrfConfig {
+        LrfConfig {
+            n_unlabeled: 8,
+            coupled: crate::config::CoupledConfig {
+                rho_init: 0.01,
+                rho: 0.05,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn full_pool_over_flat_index_reproduces_the_full_ranking() {
+        // pool_size = N + exact backend ⇒ the pooled path must equal the
+        // schemes' full-database ranking for every scheme with scores.
+        let (ds, log) = setup();
+        let index = lrf_cbir::build_flat_index(&ds.db);
+        let pooled = PooledRetrieval::new(&index, ds.db.len());
+        let proto = QueryProtocol {
+            n_queries: 1,
+            n_labeled: 8,
+            seed: 0,
+        };
+        for q in [0usize, 17, 40] {
+            let example = proto.feedback_example(&ds.db, q);
+            let ctx = QueryContext {
+                db: &ds.db,
+                log: &log,
+                example: &example,
+            };
+            let rf = RfSvm::new(small_config());
+            assert_eq!(pooled.rank(&rf, &ctx), rf.rank(&ctx), "RF-SVM query {q}");
+            let csvm = LrfCsvm::new(small_config());
+            assert_eq!(
+                pooled.rank(&csvm, &ctx),
+                csvm.rank(&ctx),
+                "LRF-CSVM query {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn euclidean_pooled_head_is_the_index_order() {
+        let (ds, log) = setup();
+        let index = lrf_cbir::build_flat_index(&ds.db);
+        let pooled = PooledRetrieval::new(&index, 12);
+        let proto = QueryProtocol {
+            n_queries: 1,
+            n_labeled: 6,
+            seed: 0,
+        };
+        let example = proto.feedback_example(&ds.db, 3);
+        let ctx = QueryContext {
+            db: &ds.db,
+            log: &log,
+            example: &example,
+        };
+        let ranked = pooled.rank(&EuclideanScheme, &ctx);
+        assert_eq!(&ranked[..12], &lrf_cbir::top_k_euclidean(&ds.db, 3, 12)[..]);
+        let mut sorted = ranked.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..ds.db.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pooled_ranking_is_always_a_permutation() {
+        let (ds, log) = setup();
+        let index = lrf_cbir::build_lsh_index(
+            &ds.db,
+            &lrf_index::LshConfig {
+                n_tables: 2,
+                n_bits: 8,
+                probes: 1,
+                seed: 3,
+            },
+        );
+        let pooled = PooledRetrieval::new(&index, 16);
+        let proto = QueryProtocol {
+            n_queries: 1,
+            n_labeled: 8,
+            seed: 0,
+        };
+        for q in [2usize, 25] {
+            let example = proto.feedback_example(&ds.db, q);
+            let ctx = QueryContext {
+                db: &ds.db,
+                log: &log,
+                example: &example,
+            };
+            let ranked = pooled.rank(&LrfCsvm::new(small_config()), &ctx);
+            let mut sorted = ranked.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..ds.db.len()).collect::<Vec<_>>(), "query {q}");
+        }
+    }
+
+    #[test]
+    fn labeled_ids_always_enter_the_pool() {
+        // A starved approximate index may miss labeled images; the pool
+        // must still include them.
+        let (ds, log) = setup();
+        let index = lrf_cbir::build_lsh_index(
+            &ds.db,
+            &lrf_index::LshConfig {
+                n_tables: 1,
+                n_bits: 10,
+                probes: 0,
+                seed: 9,
+            },
+        );
+        let pooled = PooledRetrieval::new(&index, 4);
+        let proto = QueryProtocol {
+            n_queries: 1,
+            n_labeled: 10,
+            seed: 0,
+        };
+        let example = proto.feedback_example(&ds.db, 11);
+        let ctx = QueryContext {
+            db: &ds.db,
+            log: &log,
+            example: &example,
+        };
+        let pool = pooled.pool(&ctx);
+        for &(id, _) in &example.labeled {
+            assert!(pool.contains(&id), "labeled id {id} missing from pool");
+        }
+    }
+
+    #[test]
+    fn pooled_precision_tracks_full_precision_at_modest_pools() {
+        // A pool of 3×k candidates should retain almost all of the full
+        // ranking's precision@k — the whole premise of two-stage retrieval.
+        let (ds, log) = setup();
+        let index = lrf_cbir::build_flat_index(&ds.db);
+        let pooled = PooledRetrieval::new(&index, 30);
+        let proto = QueryProtocol {
+            n_queries: 6,
+            n_labeled: 8,
+            seed: 5,
+        };
+        let scheme = RfSvm::new(small_config());
+        let (mut p_full, mut p_pool) = (0.0, 0.0);
+        let queries = proto.sample_queries(&ds.db);
+        for &q in &queries {
+            let example = proto.feedback_example(&ds.db, q);
+            let ctx = QueryContext {
+                db: &ds.db,
+                log: &log,
+                example: &example,
+            };
+            let rel = |id: usize| ds.db.same_category(id, q);
+            p_full += precision_at(&scheme.rank(&ctx), rel, 10);
+            p_pool += precision_at(&pooled.rank(&scheme, &ctx), rel, 10);
+        }
+        assert!(
+            p_pool >= p_full - 0.5,
+            "pooled precision collapsed: {p_pool} vs full {p_full} over {} queries",
+            queries.len()
+        );
+    }
+}

@@ -27,10 +27,7 @@ impl RfSvm {
     /// Trains the content SVM for one feedback round. Exposed for reuse by
     /// the log-based schemes (this is exactly their content-side initial
     /// model).
-    pub fn train_content_svm(
-        &self,
-        ctx: &QueryContext<'_>,
-    ) -> TrainedSvm<Vec<f64>, RbfKernel> {
+    pub fn train_content_svm(&self, ctx: &QueryContext<'_>) -> TrainedSvm<Vec<f64>, RbfKernel> {
         let samples: Vec<Vec<f64>> = ctx
             .example
             .labeled
@@ -43,13 +40,34 @@ impl RfSvm {
             .config
             .gamma_content
             .unwrap_or(1.0 / lrf_features::TOTAL_DIMS as f64);
-        train(&samples, &labels, &bounds, RbfKernel::new(gamma), &self.config.coupled.smo)
-            .expect("content SVM training cannot fail on validated feedback rounds")
+        train(
+            &samples,
+            &labels,
+            &bounds,
+            RbfKernel::new(gamma),
+            &self.config.coupled.smo,
+        )
+        .expect("content SVM training cannot fail on validated feedback rounds")
     }
 
     /// Scores every database image under a content model.
-    pub fn score_all(db: &lrf_cbir::ImageDatabase, model: &SvmModel<Vec<f64>, RbfKernel>) -> Vec<f64> {
+    pub fn score_all(
+        db: &lrf_cbir::ImageDatabase,
+        model: &SvmModel<Vec<f64>, RbfKernel>,
+    ) -> Vec<f64> {
         db.features().iter().map(|f| model.decision(f)).collect()
+    }
+
+    /// Scores a subset of images under a content model (aligned with
+    /// `ids`) — the candidate-pool path.
+    pub fn score_subset(
+        db: &lrf_cbir::ImageDatabase,
+        model: &SvmModel<Vec<f64>, RbfKernel>,
+        ids: &[usize],
+    ) -> Vec<f64> {
+        ids.iter()
+            .map(|&id| model.decision(db.feature(id)))
+            .collect()
     }
 }
 
@@ -67,19 +85,30 @@ impl RelevanceFeedback for RfSvm {
         let svm = self.train_content_svm(ctx);
         Some(Self::score_all(ctx.db, &svm.model))
     }
+
+    fn score_ids(&self, ctx: &QueryContext<'_>, ids: &[usize]) -> Option<Vec<f64>> {
+        let svm = self.train_content_svm(ctx);
+        Some(Self::score_subset(ctx.db, &svm.model, ids))
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lrf_cbir::{collect_log, CorelDataset, CorelSpec, precision_at, QueryProtocol};
+    use lrf_cbir::{collect_log, precision_at, CorelDataset, CorelSpec, QueryProtocol};
     use lrf_logdb::SimulationConfig;
 
     fn setup() -> (CorelDataset, lrf_logdb::LogStore) {
         let ds = CorelDataset::build(CorelSpec::tiny(4, 10, 3));
         let log = collect_log(
             &ds.db,
-            &SimulationConfig { n_sessions: 8, judged_per_session: 6, rounds_per_query: 2, noise: 0.0, seed: 2 },
+            &SimulationConfig {
+                n_sessions: 8,
+                judged_per_session: 6,
+                rounds_per_query: 2,
+                noise: 0.0,
+                seed: 2,
+            },
         );
         (ds, log)
     }
@@ -87,10 +116,17 @@ mod tests {
     #[test]
     fn rank_is_a_permutation() {
         let (ds, log) = setup();
-        let proto = QueryProtocol { n_queries: 1, n_labeled: 8, seed: 0 };
+        let proto = QueryProtocol {
+            n_queries: 1,
+            n_labeled: 8,
+            seed: 0,
+        };
         let example = proto.feedback_example(&ds.db, 0);
-        let ranked =
-            RfSvm::default().rank(&QueryContext { db: &ds.db, log: &log, example: &example });
+        let ranked = RfSvm::default().rank(&QueryContext {
+            db: &ds.db,
+            log: &log,
+            example: &example,
+        });
         let mut sorted = ranked.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..ds.db.len()).collect::<Vec<_>>());
@@ -99,7 +135,11 @@ mod tests {
     #[test]
     fn labeled_positives_rank_above_labeled_negatives() {
         let (ds, log) = setup();
-        let proto = QueryProtocol { n_queries: 1, n_labeled: 10, seed: 0 };
+        let proto = QueryProtocol {
+            n_queries: 1,
+            n_labeled: 10,
+            seed: 0,
+        };
         // Query near a category boundary gets mixed labels.
         let example = (0..ds.db.len())
             .map(|q| proto.feedback_example(&ds.db, q))
@@ -108,8 +148,11 @@ mod tests {
                 pos >= 2 && pos <= ex.labeled.len() - 2
             })
             .expect("some query must have mixed feedback");
-        let ranked =
-            RfSvm::default().rank(&QueryContext { db: &ds.db, log: &log, example: &example });
+        let ranked = RfSvm::default().rank(&QueryContext {
+            db: &ds.db,
+            log: &log,
+            example: &example,
+        });
         let pos_mean: f64 = example
             .labeled
             .iter()
@@ -138,24 +181,38 @@ mod tests {
             query: 0,
             labeled: vec![(0, 1.0), (1, 1.0), (2, 1.0)],
         };
-        let ranked =
-            RfSvm::default().rank(&QueryContext { db: &ds.db, log: &log, example: &example });
+        let ranked = RfSvm::default().rank(&QueryContext {
+            db: &ds.db,
+            log: &log,
+            example: &example,
+        });
         assert_eq!(ranked.len(), ds.db.len());
     }
 
     #[test]
     fn improves_over_random_on_average() {
         let (ds, log) = setup();
-        let proto = QueryProtocol { n_queries: 6, n_labeled: 8, seed: 5 };
+        let proto = QueryProtocol {
+            n_queries: 6,
+            n_labeled: 8,
+            seed: 5,
+        };
         let scheme = RfSvm::default();
         let mut total = 0.0;
         let queries = proto.sample_queries(&ds.db);
         for &q in &queries {
             let example = proto.feedback_example(&ds.db, q);
-            let ranked = scheme.rank(&QueryContext { db: &ds.db, log: &log, example: &example });
+            let ranked = scheme.rank(&QueryContext {
+                db: &ds.db,
+                log: &log,
+                example: &example,
+            });
             total += precision_at(&ranked, |id| ds.db.same_category(id, q), 10);
         }
         let mean = total / queries.len() as f64;
-        assert!(mean > 0.25 + 0.1, "RF-SVM precision {mean} not above chance");
+        assert!(
+            mean > 0.25 + 0.1,
+            "RF-SVM precision {mean} not above chance"
+        );
     }
 }

@@ -24,7 +24,7 @@ pub const TOTAL_DIMS: usize = COLOR_DIMS + EDGE_DIMS + TEXTURE_DIMS;
 pub type FeatureVector = Vec<f64>;
 
 /// Extracts the full 36-D descriptor of §6.2 from RGB images.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, Serialize, Deserialize, Default)]
 pub struct FeatureExtractor {
     /// Canny parameters used for the edge histogram.
     pub canny: CannyParamsConfig,
@@ -45,19 +45,21 @@ pub struct CannyParamsConfig {
 impl Default for CannyParamsConfig {
     fn default() -> Self {
         let p = CannyParams::default();
-        Self { sigma: p.sigma, low_ratio: p.low_ratio, high_ratio: p.high_ratio }
+        Self {
+            sigma: p.sigma,
+            low_ratio: p.low_ratio,
+            high_ratio: p.high_ratio,
+        }
     }
 }
 
 impl From<CannyParamsConfig> for CannyParams {
     fn from(c: CannyParamsConfig) -> Self {
-        CannyParams { sigma: c.sigma, low_ratio: c.low_ratio, high_ratio: c.high_ratio }
-    }
-}
-
-impl Default for FeatureExtractor {
-    fn default() -> Self {
-        Self { canny: CannyParamsConfig::default() }
+        CannyParams {
+            sigma: c.sigma,
+            low_ratio: c.low_ratio,
+            high_ratio: c.high_ratio,
+        }
     }
 }
 
@@ -124,7 +126,11 @@ mod tests {
         let per_cat = 6;
         let mut feats: Vec<Vec<FeatureVector>> = Vec::new();
         for cat in 0..6 {
-            feats.push((0..per_cat).map(|i| ex.extract(&gen.generate(cat, i))).collect());
+            feats.push(
+                (0..per_cat)
+                    .map(|i| ex.extract(&gen.generate(cat, i)))
+                    .collect(),
+            );
         }
         let d2 = |a: &FeatureVector, b: &FeatureVector| -> f64 {
             a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()

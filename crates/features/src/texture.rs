@@ -25,7 +25,11 @@ pub const LEVELS: usize = 3;
 
 /// Shannon entropy of the energy distribution of a coefficient block.
 pub fn band_entropy(band: &GrayImage) -> f64 {
-    let total: f64 = band.as_slice().iter().map(|&c| f64::from(c) * f64::from(c)).sum();
+    let total: f64 = band
+        .as_slice()
+        .iter()
+        .map(|&c| f64::from(c) * f64::from(c))
+        .sum();
     if total <= 0.0 {
         return 0.0;
     }
@@ -135,7 +139,12 @@ mod tests {
         }
         let th = wavelet_texture(&horiz);
         let tv = wavelet_texture(&vert);
-        let dist: f64 = th.iter().zip(&tv).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+        let dist: f64 = th
+            .iter()
+            .zip(&tv)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
         assert!(dist > 0.5, "orientations should separate, dist={dist}");
     }
 

@@ -34,7 +34,11 @@ impl Default for CannyParams {
         // sigma 1.4 is the textbook choice; ratio thresholds adapt to image
         // contrast, which matters because synthetic categories differ in
         // edge strength by design.
-        Self { sigma: 1.4, low_ratio: 0.10, high_ratio: 0.25 }
+        Self {
+            sigma: 1.4,
+            low_ratio: 0.10,
+            high_ratio: 0.25,
+        }
     }
 }
 
@@ -81,15 +85,21 @@ impl EdgeMap {
     /// Iterates over `(x, y, direction)` of all edge pixels in row-major order.
     pub fn iter_edges(&self) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
         let w = self.width;
-        self.edges.iter().enumerate().filter_map(move |(i, &e)| {
-            e.then(|| (i % w, i / w, self.directions[i]))
-        })
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(|&(_, &e)| e)
+            .map(move |(i, _)| (i % w, i / w, self.directions[i]))
     }
 
     /// Renders the edge map as a black/white [`GrayImage`] (1.0 = edge),
     /// handy for debugging and example output.
     pub fn to_gray(&self) -> GrayImage {
-        let data = self.edges.iter().map(|&e| if e { 1.0 } else { 0.0 }).collect();
+        let data = self
+            .edges
+            .iter()
+            .map(|&e| if e { 1.0 } else { 0.0 })
+            .collect();
         GrayImage::from_vec(self.width, self.height, data)
     }
 }
@@ -118,7 +128,12 @@ pub fn canny(img: &GrayImage, params: CannyParams) -> EdgeMap {
 
     if max_mag <= f32::EPSILON {
         // Perfectly flat image: no edges at all.
-        return EdgeMap { width: w, height: h, edges, directions };
+        return EdgeMap {
+            width: w,
+            height: h,
+            edges,
+            directions,
+        };
     }
     let high = params.high_ratio * max_mag;
     let low = params.low_ratio * max_mag;
@@ -138,10 +153,10 @@ pub fn canny(img: &GrayImage, params: CannyParams) -> EdgeMap {
             let angle = dir.rem_euclid(std::f32::consts::PI);
             let sector = ((angle / std::f32::consts::PI * 4.0).round() as usize) % 4;
             let (dx, dy): (isize, isize) = match sector {
-                0 => (1, 0),   // gradient ~horizontal → compare left/right
-                1 => (1, 1),   // 45°
-                2 => (0, 1),   // vertical
-                _ => (-1, 1),  // 135°
+                0 => (1, 0),  // gradient ~horizontal → compare left/right
+                1 => (1, 1),  // 45°
+                2 => (0, 1),  // vertical
+                _ => (-1, 1), // 135°
             };
             let m1 = mag.get_clamped(x as isize + dx, y as isize + dy);
             let m2 = mag.get_clamped(x as isize - dx, y as isize - dy);
@@ -174,7 +189,12 @@ pub fn canny(img: &GrayImage, params: CannyParams) -> EdgeMap {
         }
     }
 
-    EdgeMap { width: w, height: h, edges, directions }
+    EdgeMap {
+        width: w,
+        height: h,
+        edges,
+        directions,
+    }
 }
 
 #[cfg(test)]
@@ -209,7 +229,7 @@ mod tests {
             // Gradient direction should be horizontal (≈ 0 or π).
             let d = dir.rem_euclid(std::f32::consts::PI);
             assert!(
-                d < 0.3 || d > std::f32::consts::PI - 0.3,
+                !(0.3..=std::f32::consts::PI - 0.3).contains(&d),
                 "direction {d} not horizontal"
             );
         }
@@ -228,7 +248,10 @@ mod tests {
         for (_x, y, dir) in map.iter_edges() {
             assert!((13..=18).contains(&y));
             let d = dir.rem_euclid(std::f32::consts::PI);
-            assert!((d - std::f32::consts::FRAC_PI_2).abs() < 0.3, "direction {d} not vertical");
+            assert!(
+                (d - std::f32::consts::FRAC_PI_2).abs() < 0.3,
+                "direction {d} not vertical"
+            );
         }
     }
 
@@ -239,7 +262,7 @@ mod tests {
         let img = step_image(64, 64);
         let map = canny(&img, CannyParams::default());
         let count = map.edge_count();
-        assert!(count >= 60 && count <= 140, "edge count {count} not thin");
+        assert!((60..=140).contains(&count), "edge count {count} not thin");
     }
 
     #[test]
@@ -257,11 +280,25 @@ mod tests {
                 img.set(x, y, contrast);
             }
         }
-        let keep = canny(&img, CannyParams { sigma: 1.0, low_ratio: 0.08, high_ratio: 0.5 });
+        let keep = canny(
+            &img,
+            CannyParams {
+                sigma: 1.0,
+                low_ratio: 0.08,
+                high_ratio: 0.5,
+            },
+        );
         let lower_kept = keep.iter_edges().filter(|&(_, y, _)| y > 18).count();
         assert!(lower_kept > 0, "weak tail should survive via hysteresis");
 
-        let cut = canny(&img, CannyParams { sigma: 1.0, low_ratio: 0.45, high_ratio: 0.5 });
+        let cut = canny(
+            &img,
+            CannyParams {
+                sigma: 1.0,
+                low_ratio: 0.45,
+                high_ratio: 0.5,
+            },
+        );
         let lower_cut = cut.iter_edges().filter(|&(_, y, _)| y > 18).count();
         assert!(
             lower_cut < lower_kept,
@@ -280,8 +317,22 @@ mod tests {
                 }
             }
         }
-        let loose = canny(&img, CannyParams { sigma: 1.0, low_ratio: 0.05, high_ratio: 0.15 });
-        let strict = canny(&img, CannyParams { sigma: 1.0, low_ratio: 0.3, high_ratio: 0.8 });
+        let loose = canny(
+            &img,
+            CannyParams {
+                sigma: 1.0,
+                low_ratio: 0.05,
+                high_ratio: 0.15,
+            },
+        );
+        let strict = canny(
+            &img,
+            CannyParams {
+                sigma: 1.0,
+                low_ratio: 0.3,
+                high_ratio: 0.8,
+            },
+        );
         assert!(strict.edge_count() <= loose.edge_count());
     }
 
@@ -289,7 +340,14 @@ mod tests {
     #[should_panic(expected = "thresholds")]
     fn invalid_thresholds_panic() {
         let img = GrayImage::new(8, 8);
-        let _ = canny(&img, CannyParams { sigma: 1.0, low_ratio: 0.5, high_ratio: 0.2 });
+        let _ = canny(
+            &img,
+            CannyParams {
+                sigma: 1.0,
+                low_ratio: 0.5,
+                high_ratio: 0.2,
+            },
+        );
     }
 
     #[test]

@@ -25,7 +25,11 @@ impl Hsv {
     /// Constructs an HSV color, wrapping hue into `[0, 1)` and clamping
     /// saturation/value into `[0, 1]`.
     pub fn new(h: f32, s: f32, v: f32) -> Self {
-        Self { h: h.rem_euclid(1.0), s: s.clamp(0.0, 1.0), v: v.clamp(0.0, 1.0) }
+        Self {
+            h: h.rem_euclid(1.0),
+            s: s.clamp(0.0, 1.0),
+            v: v.clamp(0.0, 1.0),
+        }
     }
 
     /// Converts to 8-bit RGB.
@@ -54,7 +58,11 @@ pub fn rgb_to_hsv(rgb: [u8; 3]) -> Hsv {
     } else {
         ((r - g) / delta + 4.0) / 6.0
     };
-    let s = if max <= f32::EPSILON { 0.0 } else { delta / max };
+    let s = if max <= f32::EPSILON {
+        0.0
+    } else {
+        delta / max
+    };
     Hsv { h, s, v: max }
 }
 
@@ -123,7 +131,11 @@ mod tests {
     #[test]
     fn known_conversion_orange() {
         // 30° orange, fully saturated.
-        let rgb = hsv_to_rgb(Hsv { h: 30.0 / 360.0, s: 1.0, v: 1.0 });
+        let rgb = hsv_to_rgb(Hsv {
+            h: 30.0 / 360.0,
+            s: 1.0,
+            v: 1.0,
+        });
         assert_eq!(rgb, [255, 128, 0]);
     }
 

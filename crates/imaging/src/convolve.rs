@@ -7,7 +7,10 @@ use crate::image::GrayImage;
 
 /// Convolves the image with a horizontal 1-D kernel (centered).
 pub fn convolve_rows(img: &GrayImage, kernel: &[f32]) -> GrayImage {
-    assert!(!kernel.is_empty() && kernel.len() % 2 == 1, "kernel must have odd length");
+    assert!(
+        !kernel.is_empty() && kernel.len() % 2 == 1,
+        "kernel must have odd length"
+    );
     let half = (kernel.len() / 2) as isize;
     let mut out = GrayImage::new(img.width(), img.height());
     for y in 0..img.height() {
@@ -25,7 +28,10 @@ pub fn convolve_rows(img: &GrayImage, kernel: &[f32]) -> GrayImage {
 
 /// Convolves the image with a vertical 1-D kernel (centered).
 pub fn convolve_cols(img: &GrayImage, kernel: &[f32]) -> GrayImage {
-    assert!(!kernel.is_empty() && kernel.len() % 2 == 1, "kernel must have odd length");
+    assert!(
+        !kernel.is_empty() && kernel.len() % 2 == 1,
+        "kernel must have odd length"
+    );
     let half = (kernel.len() / 2) as isize;
     let mut out = GrayImage::new(img.width(), img.height());
     for y in 0..img.height() {

@@ -16,7 +16,11 @@ pub fn fill_vertical_gradient(img: &mut RgbImage, top: Hsv, bottom: Hsv) {
     let h = img.height();
     let w = img.width();
     for y in 0..h {
-        let t = if h == 1 { 0.0 } else { y as f32 / (h - 1) as f32 };
+        let t = if h == 1 {
+            0.0
+        } else {
+            y as f32 / (h - 1) as f32
+        };
         let color = lerp_hsv(top, bottom, t).to_rgb();
         for x in 0..w {
             img.set(x, y, color);
@@ -87,13 +91,7 @@ pub fn draw_line(
 /// Stripes brighten/darken the existing pixels rather than replacing them,
 /// so they act as a texture carrier on top of the color palette — this is
 /// what gives categories a wavelet-texture signature.
-pub fn overlay_stripes(
-    img: &mut RgbImage,
-    angle: f32,
-    frequency: f32,
-    strength: f32,
-    phase: f32,
-) {
+pub fn overlay_stripes(img: &mut RgbImage, angle: f32, frequency: f32, strength: f32, phase: f32) {
     let w = img.width() as f32;
     let (sin_a, cos_a) = angle.sin_cos();
     let two_pi = std::f32::consts::TAU;
@@ -114,7 +112,11 @@ pub fn overlay_checker(img: &mut RgbImage, cell: usize, strength: f32) {
     for y in 0..img.height() {
         for x in 0..img.width() {
             let parity = (x / cell + y / cell) % 2;
-            let m = if parity == 0 { 1.0 + strength } else { 1.0 - strength };
+            let m = if parity == 0 {
+                1.0 + strength
+            } else {
+                1.0 - strength
+            };
             let [r, g, b] = img.get(x, y);
             img.set(x, y, [scale_u8(r, m), scale_u8(g, m), scale_u8(b, m)]);
         }
@@ -166,11 +168,11 @@ pub fn overlay_blobs<R: Rng>(img: &mut RgbImage, count: usize, strength: f32, rn
                     1.0 - strength * falloff
                 };
                 let [pr, pg, pb] = img.get(x as usize, y as usize);
-                img.set(x as usize, y as usize, [
-                    scale_u8(pr, m),
-                    scale_u8(pg, m),
-                    scale_u8(pb, m),
-                ]);
+                img.set(
+                    x as usize,
+                    y as usize,
+                    [scale_u8(pr, m), scale_u8(pg, m), scale_u8(pb, m)],
+                );
             }
         }
     }
@@ -238,7 +240,10 @@ mod tests {
         let vals: Vec<u8> = img.pixels().iter().map(|p| p[0]).collect();
         let max = *vals.iter().max().unwrap();
         let min = *vals.iter().min().unwrap();
-        assert!(max > 150 && min < 100, "stripes should spread brightness, got {min}..{max}");
+        assert!(
+            max > 150 && min < 100,
+            "stripes should spread brightness, got {min}..{max}"
+        );
         // columns should vary along x (angle 0 = vertical stripes), constant along y
         assert_eq!(img.get(5, 0)[0], img.get(5, 20)[0]);
     }
@@ -276,7 +281,11 @@ mod tests {
     fn blobs_change_some_pixels() {
         let mut img = RgbImage::filled(32, 32, [120, 120, 120]);
         overlay_blobs(&mut img, 6, 0.5, &mut StdRng::seed_from_u64(3));
-        let changed = img.pixels().iter().filter(|&&p| p != [120, 120, 120]).count();
+        let changed = img
+            .pixels()
+            .iter()
+            .filter(|&&p| p != [120, 120, 120])
+            .count();
         assert!(changed > 20, "expected blob coverage, changed={changed}");
     }
 }

@@ -26,7 +26,11 @@ impl RgbImage {
     /// Panics if `width == 0` or `height == 0`.
     pub fn filled(width: usize, height: usize, color: [u8; 3]) -> Self {
         assert!(width > 0 && height > 0, "image dimensions must be nonzero");
-        Self { width, height, data: vec![color; width * height] }
+        Self {
+            width,
+            height,
+            data: vec![color; width * height],
+        }
     }
 
     /// Creates a black image.
@@ -109,7 +113,11 @@ impl RgbImage {
                 (0.299 * f32::from(r) + 0.587 * f32::from(g) + 0.114 * f32::from(b)) / 255.0
             })
             .collect();
-        GrayImage { width: self.width, height: self.height, data }
+        GrayImage {
+            width: self.width,
+            height: self.height,
+            data,
+        }
     }
 
     /// Serializes to binary PPM (`P6`), the simplest portable image format;
@@ -143,7 +151,11 @@ impl GrayImage {
     /// Panics if `width == 0` or `height == 0`.
     pub fn filled(width: usize, height: usize, value: f32) -> Self {
         assert!(width > 0 && height > 0, "image dimensions must be nonzero");
-        Self { width, height, data: vec![value; width * height] }
+        Self {
+            width,
+            height,
+            data: vec![value; width * height],
+        }
     }
 
     /// Creates an all-zero (black) image.
@@ -157,8 +169,16 @@ impl GrayImage {
     /// Panics if `data.len() != width * height` or either dimension is zero.
     pub fn from_vec(width: usize, height: usize, data: Vec<f32>) -> Self {
         assert!(width > 0 && height > 0, "image dimensions must be nonzero");
-        assert_eq!(data.len(), width * height, "buffer length must match dimensions");
-        Self { width, height, data }
+        assert_eq!(
+            data.len(),
+            width * height,
+            "buffer length must match dimensions"
+        );
+        Self {
+            width,
+            height,
+            data,
+        }
     }
 
     /// Image width in pixels.
@@ -259,7 +279,10 @@ impl GrayImage {
     /// # Panics
     /// Panics if the rectangle does not fit inside the image.
     pub fn crop(&self, x0: usize, y0: usize, w: usize, h: usize) -> GrayImage {
-        assert!(x0 + w <= self.width && y0 + h <= self.height, "crop out of bounds");
+        assert!(
+            x0 + w <= self.width && y0 + h <= self.height,
+            "crop out of bounds"
+        );
         let mut out = GrayImage::new(w, h);
         for y in 0..h {
             let src = &self.data[(y0 + y) * self.width + x0..(y0 + y) * self.width + x0 + w];

@@ -149,8 +149,12 @@ fn sample_motif<R: Rng>(rng: &mut R) -> TextureMotif {
             angle: rng.gen_range(0.0..std::f32::consts::PI),
             frequency: rng.gen_range(2.0..16.0),
         },
-        1 => TextureMotif::Checker { cell: rng.gen_range(2..12) },
-        2 => TextureMotif::Blobs { count: rng.gen_range(3..14) },
+        1 => TextureMotif::Checker {
+            cell: rng.gen_range(2..12),
+        },
+        2 => TextureMotif::Blobs {
+            count: rng.gen_range(3..14),
+        },
         _ => TextureMotif::Smooth,
     }
 }
@@ -163,8 +167,12 @@ fn sample_motif_in_family<R: Rng>(family: TextureMotif, rng: &mut R) -> TextureM
             angle: rng.gen_range(0.0..std::f32::consts::PI),
             frequency: rng.gen_range(2.0..16.0),
         },
-        TextureMotif::Checker { .. } => TextureMotif::Checker { cell: rng.gen_range(2..12) },
-        TextureMotif::Blobs { .. } => TextureMotif::Blobs { count: rng.gen_range(3..14) },
+        TextureMotif::Checker { .. } => TextureMotif::Checker {
+            cell: rng.gen_range(2..12),
+        },
+        TextureMotif::Blobs { .. } => TextureMotif::Blobs {
+            count: rng.gen_range(3..14),
+        },
         TextureMotif::Smooth => TextureMotif::Smooth,
     }
 }
@@ -224,15 +232,18 @@ impl CategoryStyle {
     ) -> Self {
         assert!(n_categories > 0 && cat < n_categories);
         let stratum = cat as f32 / n_categories as f32;
-        let anchor_hue =
-            (stratum + rng.gen_range(-0.5..0.5) / n_categories as f32).rem_euclid(1.0);
+        let anchor_hue = (stratum + rng.gen_range(-0.5..0.5) / n_categories as f32).rem_euclid(1.0);
         let family = sample_motif(rng);
-        let n_themes =
-            rng.gen_range(dist.themes_per_category.0..=dist.themes_per_category.1.max(dist.themes_per_category.0));
+        let n_themes = rng.gen_range(
+            dist.themes_per_category.0..=dist.themes_per_category.1.max(dist.themes_per_category.0),
+        );
         let themes = (0..n_themes.max(1))
             .map(|_| ThemeStyle::sample(anchor_hue, family, dist, rng))
             .collect();
-        Self { themes, off_theme_prob: dist.off_theme_prob }
+        Self {
+            themes,
+            off_theme_prob: dist.off_theme_prob,
+        }
     }
 }
 
@@ -250,7 +261,13 @@ impl SyntheticGenerator {
     /// Builds a generator for `n_categories` categories of `width × height`
     /// images; styles are sampled deterministically from `seed`.
     pub fn new(n_categories: usize, width: usize, height: usize, seed: u64) -> Self {
-        Self::with_distribution(n_categories, width, height, seed, &StyleDistribution::default())
+        Self::with_distribution(
+            n_categories,
+            width,
+            height,
+            seed,
+            &StyleDistribution::default(),
+        )
     }
 
     /// As [`Self::new`] but with an explicit style distribution (used by the
@@ -267,7 +284,13 @@ impl SyntheticGenerator {
         let styles = (0..n_categories)
             .map(|c| CategoryStyle::sample(c, n_categories, dist, &mut style_rng))
             .collect();
-        Self { styles, dist: dist.clone(), width, height, seed }
+        Self {
+            styles,
+            dist: dist.clone(),
+            width,
+            height,
+            seed,
+        }
     }
 
     /// Number of categories.
@@ -351,12 +374,8 @@ impl SyntheticGenerator {
         let n_shapes = rng.gen_range(theme.shape_count.0..=theme.shape_count.1);
         for _ in 0..n_shapes {
             let shape_hue = hue + theme.shape_hue_offset + rng.gen_range(-0.04..0.04);
-            let color = Hsv::new(
-                shape_hue,
-                rng.gen_range(0.5..1.0),
-                rng.gen_range(0.5..1.0),
-            )
-            .to_rgb();
+            let color =
+                Hsv::new(shape_hue, rng.gen_range(0.5..1.0), rng.gen_range(0.5..1.0)).to_rgb();
             match theme.shapes {
                 ShapeMotif::Discs => {
                     let r = rng.gen_range((w.min(h) / 14).max(2)..=(w.min(h) / 5).max(3));
@@ -436,7 +455,12 @@ impl SyntheticCorpus {
                 labels.push(cat);
             }
         }
-        Self { images, labels, n_categories, per_category }
+        Self {
+            images,
+            labels,
+            n_categories,
+            per_category,
+        }
     }
 
     /// Total number of images.
@@ -520,7 +544,11 @@ mod tests {
                 }
                 // anchor offset (±half stratum) + spread
                 let bound = 0.5 / 10.0 + dist.theme_hue_spread + 1e-5;
-                assert!(d <= bound, "cat {c} theme {t}: hue {} vs stratum {stratum}", theme.hue);
+                assert!(
+                    d <= bound,
+                    "cat {c} theme {t}: hue {} vs stratum {stratum}",
+                    theme.hue
+                );
             }
         }
     }
@@ -547,7 +575,11 @@ mod tests {
             [acc[0] / n, acc[1] / n, acc[2] / n]
         };
         let dist_rgb = |a: [f64; 3], b: [f64; 3]| -> f64 {
-            a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+            a.iter()
+                .zip(&b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt()
         };
         // Average over several pairs to avoid single-image flukes.
         let mut intra = 0.0;
@@ -572,8 +604,12 @@ mod tests {
             let gray = img.to_gray();
             let n = gray.len() as f32;
             let mean: f32 = gray.as_slice().iter().sum::<f32>() / n;
-            let var: f32 =
-                gray.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+            let var: f32 = gray
+                .as_slice()
+                .iter()
+                .map(|v| (v - mean) * (v - mean))
+                .sum::<f32>()
+                / n;
             assert!(var > 1e-5, "cat {cat} variance {var}");
         }
     }

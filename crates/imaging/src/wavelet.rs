@@ -45,7 +45,10 @@ pub const DB4_G: [f64; 4] = [
 /// (high-pass) coefficients.
 pub fn dwt1d_forward(signal: &[f32], out: &mut [f32]) {
     let n = signal.len();
-    assert!(n >= 4 && n % 2 == 0, "DWT needs even length >= 4, got {n}");
+    assert!(
+        n >= 4 && n.is_multiple_of(2),
+        "DWT needs even length >= 4, got {n}"
+    );
     assert_eq!(out.len(), n);
     let half = n / 2;
     for i in 0..half {
@@ -66,7 +69,10 @@ pub fn dwt1d_forward(signal: &[f32], out: &mut [f32]) {
 /// [`dwt1d_forward`] up to floating-point error).
 pub fn dwt1d_inverse(coeffs: &[f32], out: &mut [f32]) {
     let n = coeffs.len();
-    assert!(n >= 4 && n % 2 == 0, "DWT needs even length >= 4, got {n}");
+    assert!(
+        n >= 4 && n.is_multiple_of(2),
+        "DWT needs even length >= 4, got {n}"
+    );
     assert_eq!(out.len(), n);
     let half = n / 2;
     for o in out.iter_mut() {
@@ -95,8 +101,14 @@ pub fn dwt1d_inverse(coeffs: &[f32], out: &mut [f32]) {
 pub fn dwt2d_level(img: &GrayImage) -> (GrayImage, GrayImage, GrayImage, GrayImage) {
     let w = img.width();
     let h = img.height();
-    assert!(w >= 4 && w % 2 == 0, "width must be even and >= 4, got {w}");
-    assert!(h >= 4 && h % 2 == 0, "height must be even and >= 4, got {h}");
+    assert!(
+        w >= 4 && w.is_multiple_of(2),
+        "width must be even and >= 4, got {w}"
+    );
+    assert!(
+        h >= 4 && h.is_multiple_of(2),
+        "height must be even and >= 4, got {h}"
+    );
 
     // Row pass.
     let mut row_in = vec![0.0f32; w];
@@ -214,7 +226,10 @@ pub fn dwt2d_multilevel(img: &GrayImage, levels: usize) -> WaveletPyramid {
         details.push((lh, hl, hh));
         current = ll;
     }
-    WaveletPyramid { details, approx: current }
+    WaveletPyramid {
+        details,
+        approx: current,
+    }
 }
 
 #[cfg(test)]

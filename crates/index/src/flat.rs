@@ -1,0 +1,306 @@
+//! Exact parallel scan with a bounded top-k heap.
+//!
+//! The replacement for the seed's sort-everything path: instead of
+//! materializing and sorting all `N` distances, each worker keeps the best
+//! `k` seen so far in a bounded max-heap (`O(N log k)`), over a contiguous
+//! row-major matrix so the scan is one linear pass with no per-vector
+//! pointer chasing.
+
+use crate::{d2, AnnIndex, Neighbor, SearchStats, TopK};
+use serde::{Deserialize, Serialize};
+
+/// Exact Euclidean nearest-neighbor search.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FlatIndex {
+    data: Vec<f64>,
+    dim: usize,
+}
+
+/// One-shot exact top-k over borrowed row-major data — the bounded-heap
+/// scan without building (and copying into) an index. `lrf-cbir`'s
+/// `top_k_euclidean` runs on this.
+///
+/// # Panics
+/// Panics if `dim == 0`, `data.len()` is not a multiple of `dim`, or the
+/// query dimension mismatches.
+pub fn exact_top_k(data: &[f64], dim: usize, query: &[f64], k: usize) -> Vec<Neighbor> {
+    assert!(dim > 0, "dimension must be positive");
+    assert_eq!(data.len() % dim, 0, "data length must be a multiple of dim");
+    assert_eq!(query.len(), dim, "query dimension mismatch");
+    let n = data.len() / dim;
+    let mut top = TopK::new(k.min(n));
+    for (id, row) in data.chunks_exact(dim).enumerate() {
+        let dist = d2(query, row);
+        top.push(id, dist);
+    }
+    top.into_sorted()
+}
+
+/// Below this collection size the serial scan wins (thread spawn costs
+/// more than the scan itself).
+const PARALLEL_THRESHOLD: usize = 8192;
+
+impl FlatIndex {
+    /// Indexes `n = data.len() / dim` vectors from a row-major matrix.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0` or `data.len()` is not a multiple of `dim`.
+    pub fn build(data: &[f64], dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert_eq!(data.len() % dim, 0, "data length must be a multiple of dim");
+        Self {
+            data: data.to_vec(),
+            dim,
+        }
+    }
+
+    /// The indexed matrix (row-major).
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// One indexed vector.
+    pub fn vector(&self, id: usize) -> &[f64] {
+        &self.data[id * self.dim..(id + 1) * self.dim]
+    }
+
+    /// Serial scan over a contiguous id range, reusing a collector.
+    fn scan_range(&self, query: &[f64], start: usize, end: usize, top: &mut TopK) {
+        let dim = self.dim;
+        for (offset, row) in self.data[start * dim..end * dim]
+            .chunks_exact(dim)
+            .enumerate()
+        {
+            let id = start + offset;
+            let dist = d2(query, row);
+            top.push(id, dist);
+        }
+    }
+}
+
+impl AnnIndex for FlatIndex {
+    fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn name(&self) -> &'static str {
+        "flat"
+    }
+
+    fn search_with_stats(&self, query: &[f64], k: usize) -> (Vec<Neighbor>, SearchStats) {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        let n = self.len();
+        let k = k.min(n);
+        let stats = SearchStats {
+            distance_evals: n,
+            candidates: n,
+            buckets_probed: 1,
+        };
+        if k == 0 {
+            return (Vec::new(), stats);
+        }
+
+        let threads = std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1);
+        if n < PARALLEL_THRESHOLD || threads <= 1 {
+            let mut top = TopK::new(k);
+            self.scan_range(query, 0, n, &mut top);
+            return (top.into_sorted(), stats);
+        }
+
+        // Chunk boundaries depend only on n and the thread count; the merge
+        // re-sorts by (d², id), so results are identical to the serial scan
+        // regardless of scheduling.
+        let chunk = n.div_ceil(threads);
+        let partials: Vec<Vec<(usize, f64)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n)
+                .step_by(chunk)
+                .map(|start| {
+                    let end = (start + chunk).min(n);
+                    scope.spawn(move || {
+                        let mut top = TopK::new(k);
+                        self.scan_range(query, start, end, &mut top);
+                        top.into_sorted_d2()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scan worker panicked"))
+                .collect()
+        });
+
+        let mut merged = TopK::new(k);
+        for partial in partials {
+            for (id, dist) in partial {
+                merged.push(id, dist);
+            }
+        }
+        (merged.into_sorted(), stats)
+    }
+
+    /// Parallelizes across queries (one serial scan each) — better cache
+    /// behavior than splitting every query across cores.
+    fn batch_search(&self, queries: &[Vec<f64>], k: usize) -> Vec<Vec<Neighbor>> {
+        let threads = std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1);
+        if queries.len() < 2 || threads <= 1 {
+            return queries.iter().map(|q| self.search(q, k)).collect();
+        }
+        let n = self.len();
+        let k = k.min(n);
+        let chunk = queries.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = queries
+                .chunks(chunk)
+                .map(|part| {
+                    scope.spawn(move || {
+                        part.iter()
+                            .map(|q| {
+                                assert_eq!(q.len(), self.dim, "query dimension mismatch");
+                                let mut top = TopK::new(k);
+                                self.scan_range(q, 0, n, &mut top);
+                                top.into_sorted()
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("batch worker panicked"))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(n: usize, dim: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n * dim).map(|_| rng.gen_range(-1.0f64..1.0)).collect()
+    }
+
+    /// Reference implementation: sort the whole distance list.
+    fn brute_force(data: &[f64], dim: usize, query: &[f64], k: usize) -> Vec<Neighbor> {
+        let mut scored: Vec<(usize, f64)> = data
+            .chunks_exact(dim)
+            .enumerate()
+            .map(|(i, row)| (i, d2(query, row)))
+            .collect();
+        scored.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        scored.truncate(k);
+        scored.into_iter().map(|(i, d)| (i, d.sqrt())).collect()
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_data() {
+        for seed in 0..5 {
+            let dim = 8;
+            let data = random_matrix(200, dim, seed);
+            let index = FlatIndex::build(&data, dim);
+            let query = random_matrix(1, dim, seed ^ 0xabc);
+            let got = index.search(&query, 10);
+            let want = brute_force(&data, dim, &query, 10);
+            assert_eq!(
+                got.iter().map(|&(id, _)| id).collect::<Vec<_>>(),
+                want.iter().map(|&(id, _)| id).collect::<Vec<_>>(),
+                "seed {seed}"
+            );
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g.1 - w.1).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_path_matches_serial_ordering() {
+        // Above PARALLEL_THRESHOLD the scan forks; results must be
+        // bit-identical to brute force anyway.
+        let dim = 4;
+        let n = PARALLEL_THRESHOLD + 513;
+        let data = random_matrix(n, dim, 42);
+        let index = FlatIndex::build(&data, dim);
+        let query = random_matrix(1, dim, 7);
+        let got = index.search(&query, 25);
+        let want = brute_force(&data, dim, &query, 25);
+        assert_eq!(got.len(), 25);
+        assert_eq!(
+            got.iter().map(|&(id, _)| id).collect::<Vec<_>>(),
+            want.iter().map(|&(id, _)| id).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn duplicate_rows_tie_break_by_id() {
+        let data = vec![1.0, 1.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0];
+        let index = FlatIndex::build(&data, 2);
+        let got = index.search(&[1.0, 1.0], 4);
+        assert_eq!(
+            got.iter().map(|&(id, _)| id).collect::<Vec<_>>(),
+            vec![0, 2, 1, 3]
+        );
+    }
+
+    #[test]
+    fn k_clamps_to_len_and_zero_works() {
+        let data = random_matrix(5, 3, 1);
+        let index = FlatIndex::build(&data, 3);
+        assert_eq!(index.search(&[0.0; 3], 100).len(), 5);
+        assert!(index.search(&[0.0; 3], 0).is_empty());
+    }
+
+    #[test]
+    fn stats_count_full_scan() {
+        let data = random_matrix(50, 2, 3);
+        let index = FlatIndex::build(&data, 2);
+        let (_, stats) = index.search_with_stats(&[0.0, 0.0], 5);
+        assert_eq!(stats.distance_evals, 50);
+        assert_eq!(stats.candidates, 50);
+    }
+
+    #[test]
+    fn batch_matches_individual_searches() {
+        let dim = 6;
+        let data = random_matrix(300, dim, 9);
+        let index = FlatIndex::build(&data, dim);
+        let queries: Vec<Vec<f64>> = (0..17).map(|i| random_matrix(1, dim, 100 + i)).collect();
+        let batch = index.batch_search(&queries, 8);
+        for (q, got) in queries.iter().zip(&batch) {
+            assert_eq!(got, &index.search(q, 8));
+        }
+    }
+
+    #[test]
+    fn persistence_roundtrip() {
+        let data = random_matrix(20, 4, 11);
+        let index = FlatIndex::build(&data, 4);
+        let bytes = crate::to_json(&index);
+        let back: FlatIndex = crate::from_json(&bytes).unwrap();
+        assert_eq!(back, index);
+        assert_eq!(back.search(&data[0..4], 3), index.search(&data[0..4], 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_query_dim_rejected() {
+        let index = FlatIndex::build(&[0.0, 0.0], 2);
+        let _ = index.search(&[0.0], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of dim")]
+    fn ragged_data_rejected() {
+        let _ = FlatIndex::build(&[0.0, 0.0, 0.0], 2);
+    }
+}

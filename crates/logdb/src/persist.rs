@@ -39,7 +39,10 @@ impl std::fmt::Display for PersistError {
             PersistError::Io(e) => write!(f, "log store I/O error: {e}"),
             PersistError::Format(e) => write!(f, "log store format error: {e}"),
             PersistError::UnsupportedVersion { found } => {
-                write!(f, "log store version {found} unsupported (expected {FORMAT_VERSION})")
+                write!(
+                    f,
+                    "log store version {found} unsupported (expected {FORMAT_VERSION})"
+                )
             }
         }
     }
@@ -69,7 +72,10 @@ impl From<serde_json::Error> for PersistError {
 
 /// Serializes the store to a JSON byte vector.
 pub fn to_json(store: &LogStore) -> Result<Vec<u8>, PersistError> {
-    Ok(serde_json::to_vec(&Envelope { version: FORMAT_VERSION, store: store.clone() })?)
+    Ok(serde_json::to_vec(&Envelope {
+        version: FORMAT_VERSION,
+        store: store.clone(),
+    })?)
 }
 
 /// Deserializes a store from JSON bytes.
@@ -134,11 +140,13 @@ mod tests {
     #[test]
     fn wrong_version_is_rejected() {
         let store = sample_store();
-        let mut v: serde_json::Value =
-            serde_json::from_slice(&to_json(&store).unwrap()).unwrap();
+        let mut v: serde_json::Value = serde_json::from_slice(&to_json(&store).unwrap()).unwrap();
         v["version"] = serde_json::json!(99);
         let err = from_json(serde_json::to_vec(&v).unwrap().as_slice()).unwrap_err();
-        assert!(matches!(err, PersistError::UnsupportedVersion { found: 99 }));
+        assert!(matches!(
+            err,
+            PersistError::UnsupportedVersion { found: 99 }
+        ));
     }
 
     #[test]

@@ -53,7 +53,11 @@ impl LogSession {
     pub fn new(mut judgments: Vec<(usize, Relevance)>) -> Self {
         judgments.sort_unstable_by_key(|&(id, _)| id);
         for w in judgments.windows(2) {
-            assert!(w[0].0 != w[1].0, "image {} judged twice in one session", w[0].0);
+            assert!(
+                w[0].0 != w[1].0,
+                "image {} judged twice in one session",
+                w[0].0
+            );
         }
         Self { judgments }
     }
@@ -84,7 +88,10 @@ impl LogSession {
 
     /// Count of relevant marks.
     pub fn n_relevant(&self) -> usize {
-        self.judgments.iter().filter(|&&(_, r)| r == Relevance::Relevant).count()
+        self.judgments
+            .iter()
+            .filter(|&&(_, r)| r == Relevance::Relevant)
+            .count()
     }
 }
 

@@ -97,7 +97,10 @@ pub fn simulate_sessions(
         "noise must be a probability, got {}",
         config.noise
     );
-    assert!(config.rounds_per_query > 0, "need at least one round per query");
+    assert!(
+        config.rounds_per_query > 0,
+        "need at least one round per query"
+    );
     let n_images = categories.len();
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut sessions = Vec::with_capacity(config.n_sessions);
@@ -152,8 +155,7 @@ mod tests {
         k: usize,
         n: usize,
     ) -> Vec<usize> {
-        let seen: std::collections::HashSet<usize> =
-            judged.iter().map(|&(id, _)| id).collect();
+        let seen: std::collections::HashSet<usize> = judged.iter().map(|&(id, _)| id).collect();
         let mut ids: Vec<usize> = (0..n).filter(|id| !seen.contains(id)).collect();
         ids.sort_by_key(|&i| (i as isize - query as isize).unsigned_abs());
         ids.truncate(k);
@@ -187,8 +189,7 @@ mod tests {
     fn session_counts_match_config() {
         let cats = categories(3, 20);
         let c = cfg(12, 6, 3, 0.0, 1);
-        let sessions =
-            simulate_sessions(&c, &cats, |q, j, k| toy_next_screen(q, j, k, cats.len()));
+        let sessions = simulate_sessions(&c, &cats, |q, j, k| toy_next_screen(q, j, k, cats.len()));
         assert_eq!(sessions.len(), 12);
         assert!(sessions.iter().all(|s| s.len() == 6));
     }
@@ -211,7 +212,10 @@ mod tests {
         let (q0, ref s0) = interaction_screens[0];
         let (q1, ref s1) = interaction_screens[1];
         assert_eq!(q0, q1, "rounds of one interaction share the query");
-        assert!(s0.iter().all(|id| !s1.contains(id)), "round 2 must show fresh images");
+        assert!(
+            s0.iter().all(|id| !s1.contains(id)),
+            "round 2 must show fresh images"
+        );
     }
 
     #[test]
@@ -267,9 +271,16 @@ mod tests {
     fn moderate_noise_flips_roughly_expected_fraction() {
         let cats = categories(2, 100);
         let clean = cfg(50, 20, 1, 0.0, 42);
-        let noisy = SimulationConfig { noise: 0.1, ..clean };
-        let a = simulate_sessions(&clean, &cats, |q, j, k| toy_next_screen(q, j, k, cats.len()));
-        let b = simulate_sessions(&noisy, &cats, |q, j, k| toy_next_screen(q, j, k, cats.len()));
+        let noisy = SimulationConfig {
+            noise: 0.1,
+            ..clean
+        };
+        let a = simulate_sessions(&clean, &cats, |q, j, k| {
+            toy_next_screen(q, j, k, cats.len())
+        });
+        let b = simulate_sessions(&noisy, &cats, |q, j, k| {
+            toy_next_screen(q, j, k, cats.len())
+        });
         let mut flips = 0usize;
         let mut total = 0usize;
         for (cs, ns) in a.iter().zip(&b) {
@@ -291,8 +302,7 @@ mod tests {
         // continues with new queries until n_sessions is reached.
         let cats = categories(1, 10);
         let c = cfg(6, 8, 5, 0.0, 2);
-        let sessions =
-            simulate_sessions(&c, &cats, |q, j, k| toy_next_screen(q, j, k, cats.len()));
+        let sessions = simulate_sessions(&c, &cats, |q, j, k| toy_next_screen(q, j, k, cats.len()));
         assert_eq!(sessions.len(), 6);
         // sessions alternate sizes 8, 2, 8, 2, ... (fresh query each time
         // the pool empties)
@@ -304,8 +314,7 @@ mod tests {
     fn sessions_feed_the_store() {
         let cats = categories(3, 10);
         let c = cfg(10, 5, 2, 0.1, 7);
-        let sessions =
-            simulate_sessions(&c, &cats, |q, j, k| toy_next_screen(q, j, k, cats.len()));
+        let sessions = simulate_sessions(&c, &cats, |q, j, k| toy_next_screen(q, j, k, cats.len()));
         let mut store = LogStore::new(cats.len());
         for s in sessions {
             store.record(s);
@@ -318,7 +327,10 @@ mod tests {
     #[should_panic(expected = "probability")]
     fn invalid_noise_rejected() {
         let cats = categories(2, 4);
-        let c = SimulationConfig { noise: 1.5, ..Default::default() };
+        let c = SimulationConfig {
+            noise: 1.5,
+            ..Default::default()
+        };
         let _ = simulate_sessions(&c, &cats, |q, j, k| toy_next_screen(q, j, k, cats.len()));
     }
 
@@ -326,7 +338,10 @@ mod tests {
     #[should_panic(expected = "at least one round")]
     fn zero_rounds_rejected() {
         let cats = categories(2, 4);
-        let c = SimulationConfig { rounds_per_query: 0, ..Default::default() };
+        let c = SimulationConfig {
+            rounds_per_query: 0,
+            ..Default::default()
+        };
         let _ = simulate_sessions(&c, &cats, |q, j, k| toy_next_screen(q, j, k, cats.len()));
     }
 }

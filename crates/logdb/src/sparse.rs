@@ -16,7 +16,9 @@ pub struct SparseVector {
 impl SparseVector {
     /// The empty (all-zero) vector.
     pub fn new() -> Self {
-        Self { entries: Vec::new() }
+        Self {
+            entries: Vec::new(),
+        }
     }
 
     /// Builds from `(index, value)` pairs.

@@ -90,7 +90,10 @@ impl LogStore {
 
     /// The raw matrix element `r_{image, session}` (`+1`, `−1`, or `0`).
     pub fn entry(&self, image_id: usize, session_id: usize) -> f64 {
-        assert!(session_id < self.sessions.len(), "unknown session {session_id}");
+        assert!(
+            session_id < self.sessions.len(),
+            "unknown session {session_id}"
+        );
         self.columns[image_id].get(session_id as u32)
     }
 
@@ -113,7 +116,10 @@ mod tests {
 
     fn session(pairs: &[(usize, bool)]) -> LogSession {
         LogSession::new(
-            pairs.iter().map(|&(id, r)| (id, Relevance::from_bool(r))).collect(),
+            pairs
+                .iter()
+                .map(|&(id, r)| (id, Relevance::from_bool(r)))
+                .collect(),
         )
     }
 

@@ -39,7 +39,11 @@ impl fmt::Display for SvmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SvmError::EmptyTrainingSet => write!(f, "training set is empty"),
-            SvmError::LengthMismatch { samples, labels, bounds } => write!(
+            SvmError::LengthMismatch {
+                samples,
+                labels,
+                bounds,
+            } => write!(
                 f,
                 "length mismatch: {samples} samples, {labels} labels, {bounds} bounds"
             ),
@@ -47,7 +51,10 @@ impl fmt::Display for SvmError {
                 write!(f, "label at index {index} is not +1 or -1")
             }
             SvmError::InvalidBound { index } => {
-                write!(f, "upper bound at index {index} is not a positive finite number")
+                write!(
+                    f,
+                    "upper bound at index {index} is not a positive finite number"
+                )
             }
             SvmError::NonFiniteKernel { row, col } => {
                 write!(f, "kernel value at ({row}, {col}) is not finite")
@@ -64,9 +71,15 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = SvmError::LengthMismatch { samples: 3, labels: 2, bounds: 3 };
+        let e = SvmError::LengthMismatch {
+            samples: 3,
+            labels: 2,
+            bounds: 3,
+        };
         assert!(e.to_string().contains("3 samples"));
         assert!(SvmError::EmptyTrainingSet.to_string().contains("empty"));
-        assert!(SvmError::InvalidLabel { index: 7 }.to_string().contains('7'));
+        assert!(SvmError::InvalidLabel { index: 7 }
+            .to_string()
+            .contains('7'));
     }
 }

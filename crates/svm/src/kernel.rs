@@ -59,7 +59,10 @@ impl RbfKernel {
     /// # Panics
     /// Panics unless `gamma` is positive and finite.
     pub fn new(gamma: f64) -> Self {
-        assert!(gamma > 0.0 && gamma.is_finite(), "gamma must be positive and finite");
+        assert!(
+            gamma > 0.0 && gamma.is_finite(),
+            "gamma must be positive and finite"
+        );
         Self { gamma }
     }
 
@@ -97,9 +100,16 @@ impl PolyKernel {
     /// `degree >= 1`.
     pub fn new(gamma: f64, coef0: f64, degree: u32) -> Self {
         assert!(gamma > 0.0 && gamma.is_finite(), "gamma must be positive");
-        assert!(coef0 >= 0.0, "coef0 must be nonnegative for a valid Mercer kernel");
+        assert!(
+            coef0 >= 0.0,
+            "coef0 must be nonnegative for a valid Mercer kernel"
+        );
         assert!(degree >= 1, "degree must be at least 1");
-        Self { gamma, coef0, degree }
+        Self {
+            gamma,
+            coef0,
+            degree,
+        }
     }
 }
 
@@ -175,13 +185,17 @@ mod tests {
 
     #[test]
     fn gram_matrix_is_symmetric_with_unit_diagonal_for_rbf() {
-        let samples: Vec<Vec<f64>> =
-            vec![vec![0.0, 1.0], vec![2.0, -1.0], vec![0.5, 0.5], vec![3.0, 3.0]];
+        let samples: Vec<Vec<f64>> = vec![
+            vec![0.0, 1.0],
+            vec![2.0, -1.0],
+            vec![0.5, 0.5],
+            vec![3.0, 3.0],
+        ];
         let g = gram_matrix(&RbfKernel::new(0.3), &samples);
-        for i in 0..4 {
-            assert!((g[i][i] - 1.0).abs() < 1e-12);
-            for j in 0..4 {
-                assert_eq!(g[i][j], g[j][i]);
+        for (i, row) in g.iter().enumerate() {
+            assert!((row[i] - 1.0).abs() < 1e-12);
+            for (j, v) in row.iter().enumerate() {
+                assert_eq!(*v, g[j][i]);
             }
         }
     }
@@ -209,7 +223,7 @@ mod tests {
             gamma in 0.01f64..5.0,
         ) {
             let v = RbfKernel::new(gamma).compute(&a, &b);
-            prop_assert!(v >= 0.0 && v <= 1.0 + 1e-12);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&v));
         }
 
         /// The RBF Gram matrix is positive semidefinite: zᵀGz ≥ 0. We check

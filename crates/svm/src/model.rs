@@ -29,9 +29,20 @@ pub struct SvmModel<S, K> {
 
 impl<S, K: Kernel<S>> SvmModel<S, K> {
     /// Builds a model from solver output (`bias = −ρ` in LIBSVM terms).
-    pub(crate) fn new(kernel: K, support_vectors: Vec<S>, coefficients: Vec<f64>, bias: f64) -> Self {
+    pub(crate) fn new(
+        kernel: K,
+        support_vectors: Vec<S>,
+        coefficients: Vec<f64>,
+        bias: f64,
+    ) -> Self {
         debug_assert_eq!(support_vectors.len(), coefficients.len());
-        Self { kernel, support_vectors, coefficients, bias, kind: ModelKind::Trained }
+        Self {
+            kernel,
+            support_vectors,
+            coefficients,
+            bias,
+            kind: ModelKind::Trained,
+        }
     }
 
     /// Builds a constant-decision model for single-class training sets.
@@ -139,7 +150,12 @@ mod tests {
 
     fn simple_model() -> SvmModel<Vec<f64>, LinearKernel> {
         // f(x) = 1·K([1], x) − 1·K([−1], x) + 0 = 2x for linear kernel.
-        SvmModel::new(LinearKernel, vec![vec![1.0], vec![-1.0]], vec![1.0, -1.0], 0.0)
+        SvmModel::new(
+            LinearKernel,
+            vec![vec![1.0], vec![-1.0]],
+            vec![1.0, -1.0],
+            0.0,
+        )
     }
 
     #[test]
@@ -160,7 +176,7 @@ mod tests {
     #[test]
     fn hinge_slack_formula() {
         let m = simple_model(); // f(x) = 2x
-        // y=+1, f=2·0.25=0.5 → slack 0.5
+                                // y=+1, f=2·0.25=0.5 → slack 0.5
         assert!((m.hinge_slack(&vec![0.25], 1.0) - 0.5).abs() < 1e-12);
         // y=+1, f=4 → no slack
         assert_eq!(m.hinge_slack(&vec![2.0], 1.0), 0.0);
@@ -183,8 +199,14 @@ mod tests {
     fn slacks_align_with_samples() {
         let samples = vec![vec![-1.0], vec![1.0]];
         let labels = [-1.0, 1.0];
-        let svm = train(&samples, &labels, &[10.0, 10.0], LinearKernel, &SmoParams::default())
-            .unwrap();
+        let svm = train(
+            &samples,
+            &labels,
+            &[10.0, 10.0],
+            LinearKernel,
+            &SmoParams::default(),
+        )
+        .unwrap();
         let slacks = svm.slacks(&samples, &labels);
         assert_eq!(slacks.len(), 2);
         // Separable with margin exactly 1 → slacks ~ 0.

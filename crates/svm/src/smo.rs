@@ -43,7 +43,12 @@ pub struct SmoParams {
 
 impl Default for SmoParams {
     fn default() -> Self {
-        Self { eps: 1e-3, max_iter: 100_000, tau: 1e-12, sv_threshold: 1e-9 }
+        Self {
+            eps: 1e-3,
+            max_iter: 100_000,
+            tau: 1e-12,
+            sv_threshold: 1e-9,
+        }
     }
 }
 
@@ -91,7 +96,12 @@ pub fn train<S: Clone, K: Kernel<S>>(
         return Ok(TrainedSvm {
             model,
             alpha: vec![0.0; n],
-            stats: SolveStats { iterations: 0, converged: true, objective: 0.0, n_support: 0 },
+            stats: SolveStats {
+                iterations: 0,
+                converged: true,
+                objective: 0.0,
+                n_support: 0,
+            },
         });
     }
 
@@ -135,7 +145,12 @@ pub fn train<S: Clone, K: Kernel<S>>(
     Ok(TrainedSvm {
         model,
         alpha,
-        stats: SolveStats { iterations, converged, objective, n_support },
+        stats: SolveStats {
+            iterations,
+            converged,
+            objective,
+            n_support,
+        },
     })
 }
 
@@ -285,7 +300,11 @@ fn select_working_set(
     let mut gmax = f64::NEG_INFINITY;
     let mut i: isize = -1;
     for t in 0..n {
-        let in_i_up = if y[t] > 0.0 { alpha[t] < c[t] } else { alpha[t] > 0.0 };
+        let in_i_up = if y[t] > 0.0 {
+            alpha[t] < c[t]
+        } else {
+            alpha[t] > 0.0
+        };
         if in_i_up {
             let v = -y[t] * g[t];
             if v >= gmax {
@@ -304,7 +323,11 @@ fn select_working_set(
     let mut j: isize = -1;
     let mut obj_min = f64::INFINITY;
     for t in 0..n {
-        let in_i_low = if y[t] > 0.0 { alpha[t] > 0.0 } else { alpha[t] < c[t] };
+        let in_i_low = if y[t] > 0.0 {
+            alpha[t] > 0.0
+        } else {
+            alpha[t] < c[t]
+        };
         if !in_i_low {
             continue;
         }
@@ -391,8 +414,7 @@ mod tests {
     ) -> f64 {
         let mut worst: f64 = 0.0;
         // Dual feasibility: Σ α_i y_i = 0 and 0 ≤ α ≤ C.
-        let balance: f64 =
-            trained.alpha.iter().zip(labels).map(|(a, y)| a * y).sum();
+        let balance: f64 = trained.alpha.iter().zip(labels).map(|(a, y)| a * y).sum();
         worst = worst.max(balance.abs());
         for (i, &a) in trained.alpha.iter().enumerate() {
             worst = worst.max((-a).max(a - bounds[i]).max(0.0));
@@ -477,8 +499,14 @@ mod tests {
         let svm = train(&samples, &labels, &bounds, LinearKernel, &default_params()).unwrap();
         assert_eq!(svm.model.kind(), crate::model::ModelKind::Constant);
         assert_eq!(svm.model.decision(&vec![123.0]), 1.0);
-        let svm_neg = train(&samples, &[-1.0, -1.0], &bounds, LinearKernel, &default_params())
-            .unwrap();
+        let svm_neg = train(
+            &samples,
+            &[-1.0, -1.0],
+            &bounds,
+            LinearKernel,
+            &default_params(),
+        )
+        .unwrap();
         assert_eq!(svm_neg.model.decision(&vec![123.0]), -1.0);
     }
 
@@ -493,8 +521,14 @@ mod tests {
         ];
         let labels = [1.0, 1.0, -1.0, -1.0];
         let bounds = [100.0; 4];
-        let svm =
-            train(&samples, &labels, &bounds, RbfKernel::new(2.0), &default_params()).unwrap();
+        let svm = train(
+            &samples,
+            &labels,
+            &bounds,
+            RbfKernel::new(2.0),
+            &default_params(),
+        )
+        .unwrap();
         for (s, &y) in samples.iter().zip(&labels) {
             assert!(svm.model.decision(s) * y > 0.0, "misclassified {s:?}");
         }
@@ -525,8 +559,14 @@ mod tests {
     #[test]
     fn nan_sample_is_reported() {
         let s = vec![vec![f64::NAN], vec![1.0]];
-        let err = train(&s, &[-1.0, 1.0], &[1.0, 1.0], LinearKernel, &default_params())
-            .unwrap_err();
+        let err = train(
+            &s,
+            &[-1.0, 1.0],
+            &[1.0, 1.0],
+            LinearKernel,
+            &default_params(),
+        )
+        .unwrap_err();
         assert!(matches!(err, SvmError::NonFiniteKernel { .. }));
     }
 
@@ -586,8 +626,14 @@ mod tests {
             labels.push(y);
             bounds.push(if i < 12 { 2.0 } else { 0.02 }); // labeled vs ρC-style split
         }
-        let svm =
-            train(&samples, &labels, &bounds, RbfKernel::new(0.5), &default_params()).unwrap();
+        let svm = train(
+            &samples,
+            &labels,
+            &bounds,
+            RbfKernel::new(0.5),
+            &default_params(),
+        )
+        .unwrap();
         for (i, &a) in svm.alpha.iter().enumerate() {
             assert!(a >= -1e-12 && a <= bounds[i] + 1e-12, "alpha[{i}]={a}");
         }
@@ -601,8 +647,22 @@ mod tests {
         // dual objective.
         let samples = vec![vec![0.0], vec![0.4], vec![0.6], vec![1.0]];
         let labels = [-1.0, 1.0, -1.0, 1.0]; // noisy ordering → slack needed
-        let small = train(&samples, &labels, &[0.5; 4], LinearKernel, &default_params()).unwrap();
-        let large = train(&samples, &labels, &[5.0; 4], LinearKernel, &default_params()).unwrap();
+        let small = train(
+            &samples,
+            &labels,
+            &[0.5; 4],
+            LinearKernel,
+            &default_params(),
+        )
+        .unwrap();
+        let large = train(
+            &samples,
+            &labels,
+            &[5.0; 4],
+            LinearKernel,
+            &default_params(),
+        )
+        .unwrap();
         assert!(large.stats.objective <= small.stats.objective + 1e-9);
     }
 

@@ -1,0 +1,20 @@
+//! Boolean strategies.
+
+use crate::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Uniform `true`/`false`.
+#[derive(Clone, Copy, Debug)]
+pub struct Any;
+
+/// The `proptest::bool::ANY` strategy.
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut StdRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}

@@ -1,0 +1,180 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no registry access, so this workspace vendors
+//! the slice of the proptest API it uses: the [`proptest!`] macro (with an
+//! optional `#![proptest_config(..)]` header), range strategies over
+//! numeric types, [`collection::vec`], [`collection::btree_set`], and
+//! [`bool::ANY`]. Cases are generated from a seed derived from the test
+//! name, so failures reproduce deterministically. There is **no
+//! shrinking** — a failing case panics with the generated inputs left to
+//! the assertion message.
+
+pub mod bool;
+pub mod collection;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Re-exported so `proptest::prelude::*` provides everything the tests
+/// reference.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Number of cases to run per property.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Cases per property (upstream default: 256; this stand-in defaults
+    /// lower because the suite builds image corpora inside fixtures).
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A value generator. The vendored analogue of proptest's `Strategy`;
+/// generation is direct (no value trees, no shrinking).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                use rand::Rng;
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                use rand::Rng;
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Builds the deterministic per-test RNG. Public for the macro, not a
+/// user API.
+pub fn test_rng(test_name: &str) -> StdRng {
+    // FNV-1a over the test name: stable across runs and platforms.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(hash)
+}
+
+/// The property-test macro. Accepts one optional
+/// `#![proptest_config(expr)]` header followed by `fn` items whose
+/// arguments are `name in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { (<$crate::ProptestConfig as ::core::default::Default>::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__config.cases {
+                    let _ = __case;
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts inside a property (no early-return semantics in this stand-in —
+/// a failure panics immediately, which fails the case and the test).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..10, y in -1.0f64..=1.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-1.0..=1.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in crate::collection::vec(0u8..4, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&b| b < 4));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(flag in crate::bool::ANY, s in crate::collection::btree_set(0u32..10, 0..5)) {
+            let _ = flag;
+            prop_assert!(s.len() < 5);
+            prop_assert!(s.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn test_rng_is_deterministic() {
+        use rand::Rng;
+        let a: Vec<u64> = {
+            let mut r = crate::test_rng("x");
+            (0..5).map(|_| r.gen_range(0u64..1000)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = crate::test_rng("x");
+            (0..5).map(|_| r.gen_range(0u64..1000)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,217 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so this workspace vendors
+//! the subset of the `rand` 0.8 API it actually uses: [`rngs::StdRng`]
+//! seeded via [`SeedableRng::seed_from_u64`], [`Rng::gen_range`] /
+//! [`Rng::gen_bool`], and [`seq::SliceRandom::shuffle`]. The generator is
+//! xoshiro256++ (not ChaCha12 as in upstream `StdRng`); all determinism
+//! guarantees in this workspace are per-seed within this implementation,
+//! which is all the reproduction protocol requires.
+
+pub mod rngs;
+pub mod seq;
+
+/// A source of random `u64` words. The supertrait of [`Rng`].
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a range (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    /// Panics on an empty range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `p ∈ [0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability {p} out of range"
+        );
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Seeding constructors.
+pub trait SeedableRng: Sized {
+    /// Deterministically constructs the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// `u64` bits → uniform `f64` in `[0, 1)` (53-bit mantissa method).
+#[inline]
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// `u64` bits → uniform `f32` in `[0, 1)` (24-bit mantissa method).
+#[inline]
+fn unit_f32(bits: u64) -> f32 {
+    (bits >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+}
+
+/// An element type [`Rng::gen_range`] can sample uniformly. One generic
+/// [`SampleRange`] impl per range shape keeps type inference identical to
+/// upstream rand (a float literal range unifies with the use site's float
+/// width).
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`
+    /// (`inclusive = true`). Bounds are pre-validated by the caller.
+    fn sample_between<R: RngCore + ?Sized>(
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+        rng: &mut R,
+    ) -> Self;
+}
+
+/// A range that knows how to sample itself — the glue behind
+/// [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range on empty range");
+        T::sample_between(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range on empty range");
+        T::sample_between(lo, hi, true, rng)
+    }
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_between<R: RngCore + ?Sized>(
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                if inclusive && span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let span = if inclusive { span + 1 } else { span };
+                let off = reduce_u64(rng.next_u64(), span);
+                ((lo as $wide).wrapping_add(off as $wide)) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+);
+
+/// Maps 64 random bits onto `[0, span)` by 128-bit widening multiply
+/// (Lemire reduction without the rejection step — the bias is below
+/// 2⁻⁶⁴·span and irrelevant for simulation purposes).
+#[inline]
+fn reduce_u64(bits: u64, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    ((bits as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! float_sample_uniform {
+    ($($t:ty => $unit:ident),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_between<R: RngCore + ?Sized>(
+                lo: Self,
+                hi: Self,
+                _inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                // For floats the closed/open distinction is immaterial at
+                // 53-bit resolution; both forms use lo + u·(hi−lo).
+                lo + $unit(rng.next_u64()) * (hi - lo)
+            }
+        }
+    )*};
+}
+
+float_sample_uniform!(f32 => unit_f32, f64 => unit_f64);
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let same = (0..100)
+            .filter(|_| a.gen_range(0u64..u64::MAX) == c.gen_range(0u64..u64::MAX))
+            .count();
+        assert!(same < 5, "different seeds should diverge");
+    }
+
+    #[test]
+    fn ranges_hit_bounds_and_stay_inside() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let v = rng.gen_range(0usize..4);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of 0..4 reachable");
+        for _ in 0..200 {
+            let v = rng.gen_range(-1.5f64..=1.5);
+            assert!((-1.5..=1.5).contains(&v));
+            let w = rng.gen_range(-3isize..3);
+            assert!((-3..3).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_700..=3_300).contains(&hits), "got {hits} hits at p=0.3");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = rng.gen_range(5usize..5);
+    }
+}

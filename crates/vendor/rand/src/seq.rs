@@ -1,0 +1,38 @@
+//! Sequence utilities (`SliceRandom`).
+
+use crate::{Rng, RngCore};
+
+/// Slice shuffling, mirroring `rand::seq::SliceRandom`.
+pub trait SliceRandom {
+    /// Uniform in-place Fisher–Yates shuffle.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation_and_deterministic() {
+        let mut a: Vec<usize> = (0..50).collect();
+        let mut b: Vec<usize> = (0..50).collect();
+        a.shuffle(&mut StdRng::seed_from_u64(9));
+        b.shuffle(&mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+        assert_ne!(a, (0..50).collect::<Vec<_>>(), "50 elements should move");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

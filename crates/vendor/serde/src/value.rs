@@ -1,0 +1,131 @@
+//! The JSON-like value tree shared by `serde` and `serde_json`.
+
+/// An owned JSON-like document. Object member order is preserved (a `Vec`
+/// of pairs, not a map — collections here are small and ordered output is
+/// deterministic).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON `true`/`false`.
+    Bool(bool),
+    /// A non-negative integer literal.
+    U64(u64),
+    /// A negative integer literal.
+    I64(i64),
+    /// A floating-point literal (or a non-finite number rendered as
+    /// `null` on output).
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion-ordered `(key, value)` pairs.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// A short kind name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Numeric view as `u64`, coercing from `I64` when non-negative.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(n) => Some(n),
+            Value::I64(n) => u64::try_from(n).ok(),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `i64`, coercing from `U64` when in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::I64(n) => Some(n),
+            Value::U64(n) => i64::try_from(n).ok(),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `f64`. Integers coerce; `null` reads back as `NaN`
+    /// (the writer renders non-finite floats as `null`, so this closes the
+    /// round-trip).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::F64(x) => Some(x),
+            Value::U64(n) => Some(n as f64),
+            Value::I64(n) => Some(n as f64),
+            Value::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+
+    /// Object member lookup by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Mutable object member lookup, inserting `Null` when absent (the
+    /// behavior `v["key"] = ...` relies on).
+    pub fn get_or_insert(&mut self, key: &str) -> &mut Value {
+        let Value::Object(members) = self else {
+            panic!("cannot index into a {} with a string key", self.kind());
+        };
+        if let Some(pos) = members.iter().position(|(k, _)| k == key) {
+            return &mut members[pos].1;
+        }
+        members.push((key.to_owned(), Value::Null));
+        &mut members.last_mut().expect("just pushed").1
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        static NULL: Value = Value::Null;
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::IndexMut<&str> for Value {
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        self.get_or_insert(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_indexing_reads_and_writes() {
+        let mut v = Value::Object(vec![("a".into(), Value::U64(1))]);
+        assert_eq!(v["a"], Value::U64(1));
+        assert_eq!(v["missing"], Value::Null);
+        v["a"] = Value::U64(2);
+        v["b"] = Value::Bool(true);
+        assert_eq!(v["a"], Value::U64(2));
+        assert_eq!(v["b"], Value::Bool(true));
+    }
+
+    #[test]
+    fn numeric_coercions() {
+        assert_eq!(Value::U64(7).as_i64(), Some(7));
+        assert_eq!(Value::I64(-1).as_u64(), None);
+        assert_eq!(Value::U64(3).as_f64(), Some(3.0));
+        assert!(Value::Null.as_f64().unwrap().is_nan());
+    }
+}

@@ -1,0 +1,444 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stand-in.
+//!
+//! Written against `proc_macro` alone (no `syn`/`quote` in the offline
+//! build), so it parses the token stream by hand. Supported shapes — which
+//! are exactly the shapes this workspace derives on:
+//!
+//! * structs with named fields (generic parameters allowed, unbounded),
+//! * unit structs,
+//! * enums whose variants are unit or named-field (externally tagged:
+//!   `"Variant"` for unit, `{"Variant": {..fields..}}` for fields).
+//!
+//! Unsupported shapes (tuple structs/variants, unions, lifetimes, where
+//! clauses) produce a `compile_error!` naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    /// Type parameter identifiers, in declaration order.
+    generics: Vec<String>,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    UnitStruct,
+    /// Named fields, in declaration order.
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    /// `None` for a unit variant, `Some(fields)` for named fields.
+    fields: Option<Vec<String>>,
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("compile_error tokens")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    if keyword != "struct" && keyword != "enum" {
+        return Err(format!("cannot derive for `{keyword}` items"));
+    }
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    i += 1;
+
+    let generics = parse_generics(&tokens, &mut i)?;
+
+    match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            let kind = if keyword == "struct" {
+                ItemKind::Struct(parse_named_fields(&body)?)
+            } else {
+                ItemKind::Enum(parse_variants(&body)?)
+            };
+            Ok(Item {
+                name,
+                generics,
+                kind,
+            })
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' && keyword == "struct" => Ok(Item {
+            name,
+            generics,
+            kind: ItemKind::UnitStruct,
+        }),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Err(format!(
+            "tuple struct `{name}` is not supported by the vendored serde derive"
+        )),
+        other => Err(format!("unexpected item body: {other:?}")),
+    }
+}
+
+/// Advances past `#[...]` attributes (incl. doc comments) and visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1; // the [...] group
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1; // pub(crate) etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `<A, B, ...>` after the item name, returning parameter names.
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Result<Vec<String>, String> {
+    let mut params = Vec::new();
+    let open = matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '<');
+    if !open {
+        return Ok(params);
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut expecting_param = true;
+    while depth > 0 {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 1 => {
+                expecting_param = true;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '\'' => {
+                return Err(
+                    "lifetime parameters are not supported by the vendored serde derive"
+                        .to_string(),
+                );
+            }
+            Some(TokenTree::Ident(id)) if depth == 1 && expecting_param => {
+                let s = id.to_string();
+                if s == "const" {
+                    return Err(
+                        "const generics are not supported by the vendored serde derive".to_string(),
+                    );
+                }
+                params.push(s);
+                expecting_param = false;
+            }
+            None => return Err("unterminated generic parameter list".to_string()),
+            _ => {}
+        }
+        *i += 1;
+    }
+    Ok(params)
+}
+
+/// Parses `name: Type, ...` field lists (attributes and visibility allowed
+/// per field). Commas nested in `(...)`/`[...]` are inside atomic groups;
+/// commas inside `<...>` are tracked via angle depth.
+fn parse_named_fields(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < body.len() {
+        skip_attrs_and_vis(body, &mut i);
+        if i >= body.len() {
+            break;
+        }
+        let name = match body.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match body.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        // Consume the type up to the next top-level comma.
+        let mut angle_depth = 0usize;
+        while i < body.len() {
+            match body.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle_depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    angle_depth = angle_depth.saturating_sub(1)
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+fn parse_variants(body: &[TokenTree]) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < body.len() {
+        skip_attrs_and_vis(body, &mut i);
+        if i >= body.len() {
+            break;
+        }
+        let name = match body.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let fields = match body.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                Some(parse_named_fields(&inner)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(format!(
+                    "tuple variant `{name}` is not supported by the vendored serde derive"
+                ));
+            }
+            _ => None,
+        };
+        if let Some(TokenTree::Punct(p)) = body.get(i) {
+            if p.as_char() == '=' {
+                return Err(format!(
+                    "explicit discriminant on `{name}` is not supported by the vendored serde derive"
+                ));
+            }
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+/// `impl<A: Bound, B: Bound>` + `Name<A, B>` strings for the item.
+fn impl_header(item: &Item, bound: &str) -> (String, String) {
+    if item.generics.is_empty() {
+        (String::new(), item.name.clone())
+    } else {
+        let params: Vec<String> = item
+            .generics
+            .iter()
+            .map(|g| format!("{g}: {bound}"))
+            .collect();
+        (
+            format!("<{}>", params.join(", ")),
+            format!("{}<{}>", item.name, item.generics.join(", ")),
+        )
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (impl_generics, ty) = impl_header(item, "::serde::Serialize");
+    let body = match &item.kind {
+        ItemKind::UnitStruct => "::serde::Value::Object(::std::vec::Vec::new())".to_string(),
+        ItemKind::Struct(fields) => {
+            let members: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "({:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))",
+                        f
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Object(::std::vec![{}])",
+                members.join(", ")
+            )
+        }
+        ItemKind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| match &v.fields {
+                    None => format!(
+                        "Self::{} => ::serde::Value::Str({:?}.to_string()),",
+                        v.name, v.name
+                    ),
+                    Some(fields) => {
+                        let bindings = fields.join(", ");
+                        let members: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "({:?}.to_string(), ::serde::Serialize::to_value({f}))",
+                                    f
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "Self::{} {{ {} }} => ::serde::Value::Object(::std::vec![({:?}.to_string(), ::serde::Value::Object(::std::vec![{}]))]),",
+                            v.name,
+                            bindings,
+                            v.name,
+                            members.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl{impl_generics} ::serde::Serialize for {ty} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (impl_generics, ty) = impl_header(item, "::serde::Deserialize");
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::UnitStruct => format!(
+            "match __v {{\n\
+             ::serde::Value::Object(_) | ::serde::Value::Null => ::std::result::Result::Ok(Self),\n\
+             __other => ::std::result::Result::Err(::serde::DeError::msg(::std::format!(\n\
+                 \"expected object for {name}, got {{}}\", __other.kind()))),\n\
+             }}"
+        ),
+        ItemKind::Struct(fields) => {
+            let members: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__private::field(__v, {f:?})?,"))
+                .collect();
+            format!(
+                "if !::std::matches!(__v, ::serde::Value::Object(_)) {{\n\
+                 return ::std::result::Result::Err(::serde::DeError::msg(::std::format!(\n\
+                     \"expected object for {name}, got {{}}\", __v.kind())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok(Self {{ {} }})",
+                members.join(" ")
+            )
+        }
+        ItemKind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| v.fields.is_none())
+                .map(|v| {
+                    format!(
+                        "{:?} => ::std::result::Result::Ok(Self::{}),",
+                        v.name, v.name
+                    )
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .map(|v| match &v.fields {
+                    None => format!(
+                        "{:?} => ::std::result::Result::Ok(Self::{}),",
+                        v.name, v.name
+                    ),
+                    Some(fields) => {
+                        let members: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::__private::field(__inner, {f:?})?,"))
+                            .collect();
+                        format!(
+                            "{:?} => ::std::result::Result::Ok(Self::{} {{ {} }}),",
+                            v.name,
+                            v.name,
+                            members.join(" ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {unit}\n\
+                 __other => ::std::result::Result::Err(::serde::DeError::msg(::std::format!(\n\
+                     \"unknown {name} variant {{__other:?}}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(__members) if __members.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__members[0];\n\
+                 let _ = __inner;\n\
+                 match __tag.as_str() {{\n\
+                 {tagged}\n\
+                 __other => ::std::result::Result::Err(::serde::DeError::msg(::std::format!(\n\
+                     \"unknown {name} variant {{__other:?}}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 __other => ::std::result::Result::Err(::serde::DeError::msg(::std::format!(\n\
+                     \"expected {name} variant, got {{}}\", __other.kind()))),\n\
+                 }}",
+                unit = unit_arms.join("\n"),
+                tagged = tagged_arms.join("\n"),
+                name = name,
+            )
+        }
+    };
+    format!(
+        "impl{impl_generics} ::serde::Deserialize for {ty} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item)
+            .parse()
+            .unwrap_or_else(|e| error(&format!("serde_derive codegen error: {e}"))),
+        Err(e) => error(&e),
+    }
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .unwrap_or_else(|e| error(&format!("serde_derive codegen error: {e}"))),
+        Err(e) => error(&e),
+    }
+}

@@ -20,24 +20,31 @@ use lrf_logdb::SimulationConfig;
 
 /// Simulates one user feedback round: judge the scheme's top-k unjudged
 /// results by ground truth and add them to the labeled set.
-fn judge_round(
-    ds: &CorelDataset,
-    ranked: &[usize],
-    example: &mut FeedbackExample,
-    k: usize,
-) {
+fn judge_round(ds: &CorelDataset, ranked: &[usize], example: &mut FeedbackExample, k: usize) {
     let seen: std::collections::HashSet<usize> =
         example.labeled.iter().map(|&(id, _)| id).collect();
-    let fresh: Vec<usize> =
-        ranked.iter().copied().filter(|id| !seen.contains(id)).take(k).collect();
+    let fresh: Vec<usize> = ranked
+        .iter()
+        .copied()
+        .filter(|id| !seen.contains(id))
+        .take(k)
+        .collect();
     for id in fresh {
-        let y = if ds.db.same_category(id, example.query) { 1.0 } else { -1.0 };
+        let y = if ds.db.same_category(id, example.query) {
+            1.0
+        } else {
+            -1.0
+        };
         example.labeled.push((id, y));
     }
 }
 
 fn precision_at_20(ds: &CorelDataset, ranked: &[usize], query: usize) -> f64 {
-    ranked[..20].iter().filter(|&&id| ds.db.same_category(id, query)).count() as f64 / 20.0
+    ranked[..20]
+        .iter()
+        .filter(|&&id| ds.db.same_category(id, query))
+        .count() as f64
+        / 20.0
 }
 
 fn main() {
@@ -63,7 +70,11 @@ fn main() {
     );
 
     let query = 57; // a fixed query for a reproducible walkthrough
-    println!("query image {} (category {})\n", query, ds.db.category(query));
+    println!(
+        "query image {} (category {})\n",
+        query,
+        ds.db.category(query)
+    );
     println!("{:>5}  {:>10}  {:>10}", "round", "RF-SVM", "LRF-CSVM");
 
     let rf = RfSvm::new(lrf);
@@ -74,15 +85,37 @@ fn main() {
     let euclid_screen: Vec<usize> = corelog::cbir::top_k_euclidean(&ds.db, query, 15);
     let initial: Vec<(usize, f64)> = euclid_screen
         .into_iter()
-        .map(|id| (id, if ds.db.same_category(id, query) { 1.0 } else { -1.0 }))
+        .map(|id| {
+            (
+                id,
+                if ds.db.same_category(id, query) {
+                    1.0
+                } else {
+                    -1.0
+                },
+            )
+        })
         .collect();
-    let mut rf_example = FeedbackExample { query, labeled: initial.clone() };
-    let mut csvm_example = FeedbackExample { query, labeled: initial };
+    let mut rf_example = FeedbackExample {
+        query,
+        labeled: initial.clone(),
+    };
+    let mut csvm_example = FeedbackExample {
+        query,
+        labeled: initial,
+    };
 
     for round in 1..=4 {
-        let rf_ranked = rf.rank(&QueryContext { db: &ds.db, log: &log, example: &rf_example });
-        let csvm_ranked =
-            csvm.rank(&QueryContext { db: &ds.db, log: &log, example: &csvm_example });
+        let rf_ranked = rf.rank(&QueryContext {
+            db: &ds.db,
+            log: &log,
+            example: &rf_example,
+        });
+        let csvm_ranked = csvm.rank(&QueryContext {
+            db: &ds.db,
+            log: &log,
+            example: &csvm_example,
+        });
         println!(
             "{:>5}  {:>10.3}  {:>10.3}",
             round,

@@ -65,10 +65,18 @@ fn main() {
     // Content-only screens (the ablation control) vs. the paper's protocol
     // (RF-refined screens): the latter produces a better-connected matrix.
     let content_only = collect_log(&ds.db, &cfg);
-    describe("content-only collection (control)", &content_only, ds.db.categories());
+    describe(
+        "content-only collection (control)",
+        &content_only,
+        ds.db.categories(),
+    );
 
     let refined = collect_feedback_log(&ds.db, &cfg, &LrfConfig::default());
-    describe("RF-refined collection (paper §6.3)", &refined, ds.db.categories());
+    describe(
+        "RF-refined collection (paper §6.3)",
+        &refined,
+        ds.db.categories(),
+    );
 
     // Persistence: the log database outlives the process.
     let dir = std::path::Path::new("target/log_collection");

@@ -38,7 +38,11 @@ fn main() {
     );
 
     // One feedback round.
-    let protocol = QueryProtocol { n_queries: 1, n_labeled: 12, seed: 8 };
+    let protocol = QueryProtocol {
+        n_queries: 1,
+        n_labeled: 12,
+        seed: 8,
+    };
     let query = protocol.sample_queries(&ds.db)[0];
     let example = protocol.feedback_example(&ds.db, query);
     println!("query image {} (category {})", query, ds.db.category(query));
@@ -61,7 +65,9 @@ fn main() {
         .filter(|id| !labeled_ids.contains(id))
         .take(8)
         .collect();
-    let y_init: Vec<f64> = (0..pool.len()).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+    let y_init: Vec<f64> = (0..pool.len())
+        .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+        .collect();
 
     let modality = |view: &dyn Fn(usize) -> Vec<f64>, kernel, c| ModalityData {
         labeled: labeled_ids.iter().map(|&id| view(id)).collect(),
@@ -75,7 +81,10 @@ fn main() {
         modality(&log_view, DenseKernel::Rbf { gamma: 0.1 }, 0.5),
     ];
 
-    let cfg = MultiCoupledConfig { rho: 0.05, ..Default::default() };
+    let cfg = MultiCoupledConfig {
+        rho: 0.05,
+        ..Default::default()
+    };
     let out = train_multi_coupled(&modalities, &y, &y_init, &cfg).expect("training");
     println!(
         "trained {} coupled machines: {} annealing steps, {} retrains, {} label flips",
@@ -100,7 +109,9 @@ fn main() {
         .count() as f64
         / 20.0;
     println!("3-modality coupled ranking P@20 = {p20:.2}");
-    let cats: Vec<String> =
-        scored[..10].iter().map(|&(id, _)| ds.db.category(id).to_string()).collect();
+    let cats: Vec<String> = scored[..10]
+        .iter()
+        .map(|&(id, _)| ds.db.category(id).to_string())
+        .collect();
     println!("top-10 categories: [{}]", cats.join(" "));
 }

@@ -19,9 +19,19 @@ use lrf_logdb::SimulationConfig;
 fn main() {
     // 1. A small synthetic COREL-like dataset: 8 categories × 40 images.
     println!("building dataset (8 categories × 40 images) ...");
-    let spec = CorelSpec { n_categories: 8, per_category: 40, image_size: 64, seed: 7, ..CorelSpec::twenty_category(7) };
+    let spec = CorelSpec {
+        n_categories: 8,
+        per_category: 40,
+        image_size: 64,
+        seed: 7,
+        ..CorelSpec::twenty_category(7)
+    };
     let ds = CorelDataset::build(spec);
-    println!("  {} images, {} features each", ds.db.len(), ds.db.feature(0).len());
+    println!(
+        "  {} images, {} features each",
+        ds.db.len(),
+        ds.db.feature(0).len()
+    );
 
     // Dump a few rendered samples for inspection.
     let out_dir = std::path::Path::new("target/quickstart");
@@ -55,10 +65,18 @@ fn main() {
 
     // 3. One query: take a random image, auto-judge its Euclidean top-15
     //    (the simulated user's feedback round), and rank with each scheme.
-    let protocol = QueryProtocol { n_queries: 1, n_labeled: 15, seed: 3 };
+    let protocol = QueryProtocol {
+        n_queries: 1,
+        n_labeled: 15,
+        seed: 3,
+    };
     let query = protocol.sample_queries(&ds.db)[0];
     let example = protocol.feedback_example(&ds.db, query);
-    let ctx = QueryContext { db: &ds.db, log: &log, example: &example };
+    let ctx = QueryContext {
+        db: &ds.db,
+        log: &log,
+        example: &example,
+    };
     println!(
         "\nquery image {} (category {}), {} labeled ({} relevant)",
         query,
@@ -81,8 +99,10 @@ fn main() {
             .filter(|&&id| ds.db.same_category(id, query))
             .count() as f64
             / 20.0;
-        let cats: Vec<String> =
-            ranked[..10].iter().map(|&id| ds.db.category(id).to_string()).collect();
+        let cats: Vec<String> = ranked[..10]
+            .iter()
+            .map(|&id| ds.db.category(id).to_string())
+            .collect();
         println!("{:<10} {:>6.2}  [{}]", scheme.name(), p20, cats.join(" "));
     }
 }

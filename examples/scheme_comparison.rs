@@ -35,7 +35,11 @@ fn main() {
         &lrf,
     );
 
-    let protocol = QueryProtocol { n_queries: 40, n_labeled: 20, seed: 17 };
+    let protocol = QueryProtocol {
+        n_queries: 40,
+        n_labeled: 20,
+        seed: 17,
+    };
     let schemes: Vec<Box<dyn RelevanceFeedback>> = vec![
         Box::new(EuclideanScheme),
         Box::new(RfSvm::new(lrf)),
@@ -44,11 +48,14 @@ fn main() {
     ];
 
     let queries = protocol.sample_queries(&ds.db);
-    let mut curves: Vec<PrecisionCurve> =
-        schemes.iter().map(|_| PrecisionCurve::new()).collect();
+    let mut curves: Vec<PrecisionCurve> = schemes.iter().map(|_| PrecisionCurve::new()).collect();
     for &q in &queries {
         let example = protocol.feedback_example(&ds.db, q);
-        let ctx = QueryContext { db: &ds.db, log: &log, example: &example };
+        let ctx = QueryContext {
+            db: &ds.db,
+            log: &log,
+            example: &example,
+        };
         for (scheme, curve) in schemes.iter().zip(&mut curves) {
             let ranked = scheme.rank(&ctx);
             curve.add(&ranked, |id| ds.db.same_category(id, q));

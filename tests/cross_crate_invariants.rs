@@ -132,13 +132,24 @@ fn coupled_training_survives_hostile_log_noise() {
         },
         &LrfConfig::default(),
     );
-    let protocol = QueryProtocol { n_queries: 3, n_labeled: 8, seed: 4 };
-    let scheme = LrfCsvm::new(LrfConfig { n_unlabeled: 6, ..LrfConfig::default() });
+    let protocol = QueryProtocol {
+        n_queries: 3,
+        n_labeled: 8,
+        seed: 4,
+    };
+    let scheme = LrfCsvm::new(LrfConfig {
+        n_unlabeled: 6,
+        ..LrfConfig::default()
+    });
     for &q in &protocol.sample_queries(&ds.db) {
         let example = protocol.feedback_example(&ds.db, q);
         let ranked = corelog::core::RelevanceFeedback::rank(
             &scheme,
-            &QueryContext { db: &ds.db, log: &log, example: &example },
+            &QueryContext {
+                db: &ds.db,
+                log: &log,
+                example: &example,
+            },
         );
         assert_eq!(ranked.len(), ds.db.len());
     }

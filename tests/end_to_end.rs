@@ -16,7 +16,10 @@ fn build() -> (CorelDataset, lrf_logdb::LogStore, LrfConfig) {
         seed: 404,
         ..CorelSpec::twenty_category(404)
     });
-    let lrf = LrfConfig { n_unlabeled: 8, ..LrfConfig::default() };
+    let lrf = LrfConfig {
+        n_unlabeled: 8,
+        ..LrfConfig::default()
+    };
     let log = collect_feedback_log(
         &ds.db,
         &SimulationConfig {
@@ -40,11 +43,19 @@ fn every_scheme_returns_a_full_permutation_for_every_query() {
         Box::new(Lrf2Svms::new(lrf)),
         Box::new(LrfCsvm::new(lrf)),
     ];
-    let protocol = QueryProtocol { n_queries: 5, n_labeled: 10, seed: 1 };
+    let protocol = QueryProtocol {
+        n_queries: 5,
+        n_labeled: 10,
+        seed: 1,
+    };
     let expected: Vec<usize> = (0..ds.db.len()).collect();
     for &q in &protocol.sample_queries(&ds.db) {
         let example = protocol.feedback_example(&ds.db, q);
-        let ctx = QueryContext { db: &ds.db, log: &log, example: &example };
+        let ctx = QueryContext {
+            db: &ds.db,
+            log: &log,
+            example: &example,
+        };
         for scheme in &schemes {
             let mut ranked = scheme.rank(&ctx);
             ranked.sort_unstable();
@@ -56,7 +67,11 @@ fn every_scheme_returns_a_full_permutation_for_every_query() {
 #[test]
 fn learning_schemes_beat_chance_decisively() {
     let (ds, log, lrf) = build();
-    let protocol = QueryProtocol { n_queries: 10, n_labeled: 10, seed: 5 };
+    let protocol = QueryProtocol {
+        n_queries: 10,
+        n_labeled: 10,
+        seed: 5,
+    };
     let chance = 1.0 / ds.db.n_categories() as f64;
     for scheme in [
         Box::new(RfSvm::new(lrf)) as Box<dyn RelevanceFeedback>,
@@ -67,10 +82,16 @@ fn learning_schemes_beat_chance_decisively() {
         let queries = protocol.sample_queries(&ds.db);
         for &q in &queries {
             let example = protocol.feedback_example(&ds.db, q);
-            let ctx = QueryContext { db: &ds.db, log: &log, example: &example };
+            let ctx = QueryContext {
+                db: &ds.db,
+                log: &log,
+                example: &example,
+            };
             let ranked = scheme.rank(&ctx);
-            total += ranked[..10].iter().filter(|&&id| ds.db.same_category(id, q)).count()
-                as f64
+            total += ranked[..10]
+                .iter()
+                .filter(|&&id| ds.db.same_category(id, q))
+                .count() as f64
                 / 10.0;
         }
         let mean = total / queries.len() as f64;
@@ -89,12 +110,24 @@ fn full_stack_is_deterministic_across_rebuilds() {
     assert_eq!(ds1.db, ds2.db, "dataset build must be deterministic");
     assert_eq!(log1, log2, "log collection must be deterministic");
 
-    let protocol = QueryProtocol { n_queries: 1, n_labeled: 10, seed: 9 };
+    let protocol = QueryProtocol {
+        n_queries: 1,
+        n_labeled: 10,
+        seed: 9,
+    };
     let q = protocol.sample_queries(&ds1.db)[0];
     let example = protocol.feedback_example(&ds1.db, q);
     let scheme = LrfCsvm::new(lrf);
-    let a = scheme.rank(&QueryContext { db: &ds1.db, log: &log1, example: &example });
-    let b = scheme.rank(&QueryContext { db: &ds2.db, log: &log2, example: &example });
+    let a = scheme.rank(&QueryContext {
+        db: &ds1.db,
+        log: &log1,
+        example: &example,
+    });
+    let b = scheme.rank(&QueryContext {
+        db: &ds2.db,
+        log: &log2,
+        example: &example,
+    });
     assert_eq!(a, b, "LRF-CSVM ranking must be deterministic");
 }
 

@@ -31,18 +31,25 @@ fn run_reduced(seed: u64) -> Vec<PrecisionCurve> {
         },
         &lrf,
     );
-    let protocol = QueryProtocol { n_queries: 25, n_labeled: 15, seed: seed ^ 0x5a };
+    let protocol = QueryProtocol {
+        n_queries: 25,
+        n_labeled: 15,
+        seed: seed ^ 0x5a,
+    };
     let schemes: Vec<Box<dyn RelevanceFeedback>> = vec![
         Box::new(EuclideanScheme),
         Box::new(RfSvm::new(lrf)),
         Box::new(Lrf2Svms::new(lrf)),
         Box::new(LrfCsvm::new(lrf)),
     ];
-    let mut curves: Vec<PrecisionCurve> =
-        schemes.iter().map(|_| PrecisionCurve::new()).collect();
+    let mut curves: Vec<PrecisionCurve> = schemes.iter().map(|_| PrecisionCurve::new()).collect();
     for &q in &protocol.sample_queries(&ds.db) {
         let example = protocol.feedback_example(&ds.db, q);
-        let ctx = QueryContext { db: &ds.db, log: &log, example: &example };
+        let ctx = QueryContext {
+            db: &ds.db,
+            log: &log,
+            example: &example,
+        };
         for (scheme, curve) in schemes.iter().zip(&mut curves) {
             let ranked = scheme.rank(&ctx);
             curve.add(&ranked, |id| ds.db.same_category(id, q));
@@ -57,7 +64,11 @@ fn paper_ordering_holds_at_reduced_scale() {
     let (eu, rf, two, csvm) = (&curves[0], &curves[1], &curves[2], &curves[3]);
 
     // The semantic gap exists: Euclidean is far from perfect but above chance.
-    assert!(eu.at(20) > 0.15 && eu.at(20) < 0.8, "Euclidean P@20 = {}", eu.at(20));
+    assert!(
+        eu.at(20) > 0.15 && eu.at(20) < 0.8,
+        "Euclidean P@20 = {}",
+        eu.at(20)
+    );
 
     // Relevance feedback beats plain distance (paper's premise).
     assert!(
