@@ -1,0 +1,68 @@
+//! Criterion bench: full-database `SVM_Dist` scoring — the per-round hot
+//! path of every SVM-based relevance-feedback scheme.
+//!
+//! Compares the serial per-sample `decision` loop (the pre-refactor path)
+//! against the parallel `decision_batch_rows` scan over the flat feature
+//! matrix, across database sizes N and support-set sizes n_sv. The
+//! measured numbers seed `BENCH_scoring.json` at the repo root.
+//!
+//! Set `BENCH_QUICK=1` to restrict to the smallest N (the CI smoke run).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lrf_svm::{RbfKernel, SvmModel};
+use std::hint::black_box;
+
+const DIM: usize = 36;
+
+/// Deterministic pseudo-random row-major matrix (no RNG needed).
+fn waves(n: usize, phase: f64) -> Vec<f64> {
+    (0..n * DIM)
+        .map(|i| ((i as f64) * 0.1371 + phase).sin())
+        .collect()
+}
+
+fn model(n_sv: usize) -> SvmModel<[f64], RbfKernel> {
+    let svs: Vec<Vec<f64>> = waves(n_sv, 0.77).chunks(DIM).map(<[f64]>::to_vec).collect();
+    let coefs: Vec<f64> = (0..n_sv)
+        .map(|i| if i % 2 == 0 { 0.8 } else { -1.1 })
+        .collect();
+    SvmModel::from_parts(RbfKernel::new(1.0 / DIM as f64), svs, coefs, -0.1)
+}
+
+fn sizes() -> Vec<usize> {
+    if std::env::var("BENCH_QUICK").is_ok() {
+        vec![2_000]
+    } else {
+        vec![2_000, 20_000, 200_000]
+    }
+}
+
+fn bench_full_db_scoring(c: &mut Criterion) {
+    for &n_sv in &[8usize, 64] {
+        let m = model(n_sv);
+        let mut group = c.benchmark_group(format!("svm_score/nsv{n_sv}"));
+        group.sample_size(10);
+        for &n in &sizes() {
+            let data = waves(n, 3.3);
+            group.bench_with_input(BenchmarkId::new("serial", n), &n, |b, _| {
+                b.iter(|| {
+                    let scores: Vec<f64> = black_box(&data)
+                        .chunks_exact(DIM)
+                        .map(|row| m.decision(row))
+                        .collect();
+                    black_box(scores.len())
+                })
+            });
+            group.bench_with_input(BenchmarkId::new("batch", n), &n, |b, _| {
+                b.iter(|| {
+                    let scores = m.decision_batch_rows(black_box(&data), DIM);
+                    black_box(scores.len())
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_full_db_scoring);
+criterion_main!(benches);

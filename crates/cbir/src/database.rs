@@ -3,28 +3,73 @@
 use lrf_features::{FeatureExtractor, Normalizer};
 use lrf_imaging::RgbImage;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// A retrieval database: one normalized feature vector and one ground-truth
 /// category per image. Categories exist for *automatic evaluation* (the
 /// paper: "the approach can help us evaluate the performance automatically")
 /// — retrieval itself never reads them.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+///
+/// Features live in **one contiguous row-major `N × dim` matrix** behind an
+/// [`Arc`]: per-image access is a borrowed `&[f64]` row view
+/// ([`Self::feature`]), and the index backends share the same allocation
+/// ([`Self::features_shared`]) instead of copying it — so at any scale the
+/// collection's features exist exactly once in memory.
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct ImageDatabase {
-    features: Vec<Vec<f64>>,
-    /// Row-major copy of `features` — one contiguous `N × dim` matrix, so
-    /// index backends and the Euclidean hot loop scan linearly instead of
-    /// chasing one heap allocation per vector. Kept in sync by
-    /// construction (the database is immutable after build).
-    flat: Vec<f64>,
+    /// The shared row-major feature matrix.
+    flat: Arc<Vec<f64>>,
     dim: usize,
     categories: Vec<usize>,
     n_categories: usize,
 }
 
+// Manual deserialization so a persisted database is validated on load:
+// `len()` reads `categories` while the feature accessors read `flat`, and
+// the two must never disagree (the derive would accept any shape).
+impl Deserialize for ImageDatabase {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let flat: Arc<Vec<f64>> = serde::__private::field(v, "flat")?;
+        let dim: usize = serde::__private::field(v, "dim")?;
+        let categories: Vec<usize> = serde::__private::field(v, "categories")?;
+        let n_categories: usize = serde::__private::field(v, "n_categories")?;
+        if dim == 0 {
+            return Err(serde::DeError::msg("feature dimension must be positive"));
+        }
+        if categories.is_empty() {
+            return Err(serde::DeError::msg("database cannot be empty"));
+        }
+        let expected = categories
+            .len()
+            .checked_mul(dim)
+            .ok_or_else(|| serde::DeError::msg("image count × dimension overflows"))?;
+        if flat.len() != expected {
+            return Err(serde::DeError::msg(format!(
+                "feature matrix / categories mismatch: {} values != {} images × {} dims",
+                flat.len(),
+                categories.len(),
+                dim
+            )));
+        }
+        if categories.iter().any(|&c| c >= n_categories) {
+            return Err(serde::DeError::msg(
+                "category id out of range for n_categories",
+            ));
+        }
+        Ok(Self {
+            flat,
+            dim,
+            categories,
+            n_categories,
+        })
+    }
+}
+
 impl ImageDatabase {
     /// Builds a database from pre-extracted raw features; fits a Gaussian
     /// 3σ normalizer on the whole collection and stores normalized vectors,
-    /// as the era's CBIR systems did.
+    /// as the era's CBIR systems did. The nested input rows are consumed
+    /// and flattened — after construction only the flat matrix exists.
     ///
     /// # Panics
     /// Panics if inputs are empty or of mismatched length.
@@ -43,10 +88,9 @@ impl ImageDatabase {
             features.iter().all(|f| f.len() == dim),
             "all feature vectors must share one dimension"
         );
-        let flat: Vec<f64> = features.iter().flatten().copied().collect();
+        let flat: Vec<f64> = features.into_iter().flatten().collect();
         Self {
-            features,
-            flat,
+            flat: Arc::new(flat),
             dim,
             categories,
             n_categories,
@@ -68,12 +112,12 @@ impl ImageDatabase {
 
     /// Number of images `N`.
     pub fn len(&self) -> usize {
-        self.features.len()
+        self.categories.len()
     }
 
     /// `true` when the database holds no images (never, post-construction).
     pub fn is_empty(&self) -> bool {
-        self.features.is_empty()
+        self.categories.is_empty()
     }
 
     /// Number of distinct categories.
@@ -81,14 +125,15 @@ impl ImageDatabase {
         self.n_categories
     }
 
-    /// The normalized feature vector of image `i`.
-    pub fn feature(&self, i: usize) -> &Vec<f64> {
-        &self.features[i]
+    /// The normalized feature vector of image `i` — a borrowed row view of
+    /// the flat matrix (no per-vector allocation behind it).
+    pub fn feature(&self, i: usize) -> &[f64] {
+        &self.flat[i * self.dim..(i + 1) * self.dim]
     }
 
-    /// All normalized feature vectors, indexed by image id.
-    pub fn features(&self) -> &[Vec<f64>] {
-        &self.features
+    /// Iterates the normalized feature rows in image-id order.
+    pub fn rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.flat.chunks_exact(self.dim)
     }
 
     /// Feature dimensionality `d`.
@@ -102,10 +147,11 @@ impl ImageDatabase {
         &self.flat
     }
 
-    /// The normalized feature vector of image `i` as a slice of the flat
-    /// matrix (no per-vector allocation behind it).
-    pub fn feature_row(&self, i: usize) -> &[f64] {
-        &self.flat[i * self.dim..(i + 1) * self.dim]
+    /// A shared handle to the feature matrix. Index backends hold this
+    /// instead of copying the data, keeping peak feature storage at one
+    /// copy regardless of how many indexes serve the collection.
+    pub fn features_shared(&self) -> Arc<Vec<f64>> {
+        Arc::clone(&self.flat)
     }
 
     /// Ground-truth category of image `i`.
@@ -182,15 +228,27 @@ mod tests {
         let db = tiny_db();
         assert_eq!(db.dim(), lrf_features::TOTAL_DIMS);
         assert_eq!(db.features_flat().len(), db.len() * db.dim());
-        for i in 0..db.len() {
-            assert_eq!(db.feature_row(i), db.feature(i).as_slice());
+        for (i, row) in db.rows().enumerate() {
+            assert_eq!(db.feature(i), row);
         }
+    }
+
+    #[test]
+    fn shared_matrix_is_the_same_allocation() {
+        let db = tiny_db();
+        let a = db.features_shared();
+        let b = db.features_shared();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.as_slice(), db.features_flat());
+        // Cloning the database clones the handle, not the matrix.
+        let copy = db.clone();
+        assert!(Arc::ptr_eq(&a, &copy.features_shared()));
     }
 
     #[test]
     fn features_are_normalized_into_unit_box() {
         let db = tiny_db();
-        for f in db.features() {
+        for f in db.rows() {
             for &v in f {
                 assert!((-1.0..=1.0).contains(&v), "unnormalized value {v}");
             }
@@ -225,8 +283,37 @@ mod tests {
         let db = ImageDatabase::from_features(feats, vec![0, 0, 1]);
         // Mean of each dim is 0 after normalization.
         for d in 0..2 {
-            let m: f64 = db.features().iter().map(|f| f[d]).sum::<f64>() / 3.0;
+            let m: f64 = db.rows().map(|f| f[d]).sum::<f64>() / 3.0;
             assert!(m.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_matrix() {
+        let feats = vec![vec![0.0, 1.0], vec![2.0, 3.0], vec![4.0, 5.0]];
+        let db = ImageDatabase::from_features(feats, vec![0, 1, 1]);
+        let json = serde_json::to_string(&db).unwrap();
+        let back: ImageDatabase = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, db);
+    }
+
+    #[test]
+    fn deserialization_rejects_inconsistent_shapes() {
+        // A matrix that doesn't cover N × dim, a zero dim, or an
+        // out-of-range category id must fail on load, not panic later.
+        for bad in [
+            r#"{"flat": [0.0, 1.0, 2.0, 3.0], "dim": 2, "categories": [0, 1, 1], "n_categories": 2}"#,
+            r#"{"flat": [], "dim": 0, "categories": [], "n_categories": 0}"#,
+            r#"{"flat": [0.0, 1.0], "dim": 2, "categories": [5], "n_categories": 2}"#,
+            // Empty database (from_features forbids it; loading must too).
+            r#"{"flat": [], "dim": 2, "categories": [], "n_categories": 0}"#,
+            // N × dim overflows usize — must reject, not wrap to 0.
+            r#"{"flat": [], "dim": 4611686018427387904, "categories": [0, 0, 0, 0], "n_categories": 1}"#,
+        ] {
+            assert!(
+                serde_json::from_str::<ImageDatabase>(bad).is_err(),
+                "accepted malformed database: {bad}"
+            );
         }
     }
 }

@@ -58,7 +58,7 @@ pub fn rank_by_euclidean(db: &ImageDatabase, query_feature: &[f64]) -> Vec<usize
 /// k)` instead of sorting all `N` distances — and returns exactly the
 /// first `k` ids of [`rank_by_euclidean`].
 pub fn top_k_euclidean(db: &ImageDatabase, query_id: usize, k: usize) -> Vec<usize> {
-    lrf_index::exact_top_k(db.features_flat(), db.dim(), db.feature_row(query_id), k)
+    lrf_index::exact_top_k(db.features_flat(), db.dim(), db.feature(query_id), k)
         .into_iter()
         .map(|(id, _)| id)
         .collect()

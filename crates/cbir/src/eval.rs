@@ -161,7 +161,7 @@ impl QueryProtocol {
         index: &dyn lrf_index::AnnIndex,
         query: usize,
     ) -> FeedbackExample {
-        let screen = crate::retrieval::top_k_ids(index, db.feature_row(query), self.n_labeled);
+        let screen = crate::retrieval::top_k_ids(index, db.feature(query), self.n_labeled);
         self.label_screen(db, query, screen)
     }
 

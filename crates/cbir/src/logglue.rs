@@ -45,7 +45,7 @@ pub fn collect_log_with_index(
     assert_eq!(index.len(), db.len(), "index does not cover the database");
     let sessions = simulate_sessions(config, db.categories(), |query, judged, k| {
         let seen: std::collections::HashSet<usize> = judged.iter().map(|&(id, _)| id).collect();
-        crate::retrieval::top_k_ids(index, db.feature_row(query), k + judged.len())
+        crate::retrieval::top_k_ids(index, db.feature(query), k + judged.len())
             .into_iter()
             .filter(|id| !seen.contains(id))
             .take(k)

@@ -27,18 +27,19 @@ use crate::database::ImageDatabase;
 use lrf_index::{AnnIndex, FlatIndex, IvfConfig, IvfIndex, LshConfig, LshIndex};
 
 /// Builds the exact (flat) index over the database — the default backend.
+/// The index shares the database's feature allocation (no copy).
 pub fn build_flat_index(db: &ImageDatabase) -> FlatIndex {
-    FlatIndex::build(db.features_flat(), db.dim())
+    FlatIndex::from_shared(db.features_shared(), db.dim())
 }
 
-/// Builds an IVF index over the database.
+/// Builds an IVF index over the database, sharing its feature allocation.
 pub fn build_ivf_index(db: &ImageDatabase, config: &IvfConfig) -> IvfIndex {
-    IvfIndex::build(db.features_flat(), db.dim(), config)
+    IvfIndex::build_shared(db.features_shared(), db.dim(), config)
 }
 
-/// Builds an LSH index over the database.
+/// Builds an LSH index over the database, sharing its feature allocation.
 pub fn build_lsh_index(db: &ImageDatabase, config: &LshConfig) -> LshIndex {
-    LshIndex::build(db.features_flat(), db.dim(), config)
+    LshIndex::build_shared(db.features_shared(), db.dim(), config)
 }
 
 /// The `k` nearest image ids for a query feature, through an index.
@@ -90,7 +91,7 @@ mod tests {
         let ds = dataset();
         let index = build_flat_index(&ds.db);
         for q in 0..ds.db.len() {
-            let via_index = rank_with_index(&ds.db, &index, ds.db.feature_row(q));
+            let via_index = rank_with_index(&ds.db, &index, ds.db.feature(q));
             let direct = rank_by_euclidean(&ds.db, ds.db.feature(q));
             assert_eq!(via_index, direct, "query {q}");
         }
@@ -103,7 +104,7 @@ mod tests {
         for q in [0usize, 13, 29] {
             for k in [1usize, 5, 20] {
                 assert_eq!(
-                    top_k_ids(&index, ds.db.feature_row(q), k),
+                    top_k_ids(&index, ds.db.feature(q), k),
                     top_k_euclidean(&ds.db, q, k),
                     "q={q} k={k}"
                 );
@@ -125,7 +126,7 @@ mod tests {
                 seed: 5,
             },
         );
-        let ranked = rank_with_index(&ds.db, &index, ds.db.feature_row(0));
+        let ranked = rank_with_index(&ds.db, &index, ds.db.feature(0));
         let mut sorted = ranked.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..ds.db.len()).collect::<Vec<_>>());
@@ -145,12 +146,32 @@ mod tests {
         let mut overlap = 0usize;
         let k = 10;
         for q in 0..ds.db.len() {
-            let approx = top_k_ids(&index, ds.db.feature_row(q), k);
+            let approx = top_k_ids(&index, ds.db.feature(q), k);
             let exact = top_k_euclidean(&ds.db, q, k);
             overlap += exact.iter().filter(|id| approx.contains(id)).count();
         }
         let recall = overlap as f64 / (ds.db.len() * k) as f64;
         assert!(recall >= 0.8, "IVF screen recall {recall} unreasonably low");
+    }
+
+    #[test]
+    fn all_backends_share_the_database_allocation() {
+        // The zero-copy contract of the retrieval path: database + every
+        // index backend hold the *same* feature matrix, not copies.
+        let ds = dataset();
+        let shared = ds.db.features_shared();
+        let flat = build_flat_index(&ds.db);
+        assert!(std::sync::Arc::ptr_eq(&shared, &flat.shared_data()));
+        let ivf = build_ivf_index(
+            &ds.db,
+            &IvfConfig {
+                nlist: 4,
+                ..Default::default()
+            },
+        );
+        assert!(std::sync::Arc::ptr_eq(&shared, &ivf.shared_data()));
+        let lsh = build_lsh_index(&ds.db, &LshConfig::default());
+        assert!(std::sync::Arc::ptr_eq(&shared, &lsh.shared_data()));
     }
 
     #[test]

@@ -25,6 +25,7 @@
 use crate::config::CoupledConfig;
 use lrf_svm::{train, Kernel, SvmError, TrainedSvm};
 use serde::{Deserialize, Serialize};
+use std::borrow::Borrow;
 
 /// Diagnostics of one coupled training run.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -43,8 +44,7 @@ pub struct TrainReport {
 }
 
 /// Result of [`train_coupled`]: the two final models plus diagnostics.
-#[derive(Clone, Debug)]
-pub struct CoupledOutcome<S1, K1, S2, K2> {
+pub struct CoupledOutcome<S1: ?Sized + ToOwned, K1, S2: ?Sized + ToOwned, K2> {
     /// The content-modality machine (`w`, `b_w`).
     pub content: TrainedSvm<S1, K1>,
     /// The log-modality machine (`u`, `b_u`).
@@ -53,11 +53,49 @@ pub struct CoupledOutcome<S1, K1, S2, K2> {
     pub report: TrainReport,
 }
 
-impl<S1, K1: Kernel<S1>, S2, K2: Kernel<S2>> CoupledOutcome<S1, K1, S2, K2> {
+impl<S1, K1, S2, K2> CoupledOutcome<S1, K1, S2, K2>
+where
+    S1: ?Sized + ToOwned,
+    K1: Kernel<S1>,
+    S2: ?Sized + ToOwned,
+    K2: Kernel<S2>,
+{
     /// The paper's `CSVM_Dist`: the sum of both machines' decision values —
     /// the relevance score the final retrieval ranks by.
     pub fn coupled_score(&self, x: &S1, r: &S2) -> f64 {
         self.content.model.decision(x) + self.log.model.decision(r)
+    }
+}
+
+impl<S1, K1, S2, K2> Clone for CoupledOutcome<S1, K1, S2, K2>
+where
+    S1: ?Sized + ToOwned,
+    S2: ?Sized + ToOwned,
+    TrainedSvm<S1, K1>: Clone,
+    TrainedSvm<S2, K2>: Clone,
+{
+    fn clone(&self) -> Self {
+        Self {
+            content: self.content.clone(),
+            log: self.log.clone(),
+            report: self.report.clone(),
+        }
+    }
+}
+
+impl<S1, K1, S2, K2> std::fmt::Debug for CoupledOutcome<S1, K1, S2, K2>
+where
+    S1: ?Sized + ToOwned,
+    S2: ?Sized + ToOwned,
+    TrainedSvm<S1, K1>: std::fmt::Debug,
+    TrainedSvm<S2, K2>: std::fmt::Debug,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CoupledOutcome")
+            .field("content", &self.content)
+            .field("log", &self.log)
+            .field("report", &self.report)
+            .finish()
     }
 }
 
@@ -69,27 +107,35 @@ impl<S1, K1: Kernel<S1>, S2, K2: Kernel<S2>> CoupledOutcome<S1, K1, S2, K2> {
 ///   initial pseudo-labels `y_init` (±1).
 /// * `kernel_a` / `kernel_b` — the per-modality kernels.
 ///
+/// Samples are taken by borrow (`B1: Borrow<S1>`, `B2: Borrow<S2>`):
+/// callers pass `&[f64]` row views of the database's flat matrix and
+/// `&SparseVector` references straight out of the log store; no training
+/// round copies a feature. Only the final models' support vectors are
+/// materialized (via `ToOwned`).
+///
 /// # Errors
 /// Propagates solver errors (invalid labels/bounds, non-finite kernels).
 ///
 /// # Panics
 /// Panics if the modality arrays are misaligned.
 #[allow(clippy::too_many_arguments)] // mirrors the paper's explicit operands
-pub fn train_coupled<S1, K1, S2, K2>(
-    labeled_a: &[S1],
-    labeled_b: &[S2],
+pub fn train_coupled<S1, B1, K1, S2, B2, K2>(
+    labeled_a: &[B1],
+    labeled_b: &[B2],
     y: &[f64],
-    unlabeled_a: &[S1],
-    unlabeled_b: &[S2],
+    unlabeled_a: &[B1],
+    unlabeled_b: &[B2],
     y_init: &[f64],
     kernel_a: K1,
     kernel_b: K2,
     cfg: &CoupledConfig,
 ) -> Result<CoupledOutcome<S1, K1, S2, K2>, SvmError>
 where
-    S1: Clone,
+    S1: ?Sized + ToOwned,
+    B1: Borrow<S1>,
     K1: Kernel<S1> + Clone,
-    S2: Clone,
+    S2: ?Sized + ToOwned,
+    B2: Borrow<S2>,
     K2: Kernel<S2> + Clone,
 {
     cfg.validate();
@@ -118,9 +164,18 @@ where
     let n_u = unlabeled_a.len();
     let mut y_prime = y_init.to_vec();
 
-    // Concatenated sample views reused across retrains.
-    let all_a: Vec<S1> = labeled_a.iter().chain(unlabeled_a).cloned().collect();
-    let all_b: Vec<S2> = labeled_b.iter().chain(unlabeled_b).cloned().collect();
+    // Concatenated *borrowed* sample views reused across retrains — a
+    // vector of references, not of cloned samples.
+    let all_a: Vec<&S1> = labeled_a
+        .iter()
+        .chain(unlabeled_a)
+        .map(Borrow::borrow)
+        .collect();
+    let all_b: Vec<&S2> = labeled_b
+        .iter()
+        .chain(unlabeled_b)
+        .map(Borrow::borrow)
+        .collect();
 
     let mut report = TrainReport {
         rho_steps: 0,
@@ -207,10 +262,10 @@ where
 /// positive slack on *both* modalities exceeding `Δ` in sum, flip those
 /// pseudo-labels and retrain both machines.
 #[allow(clippy::too_many_arguments)]
-fn run_label_correction<S1, K1, S2, K2, F>(
+fn run_label_correction<S1, B1, K1, S2, B2, K2, F>(
     pair: &mut (TrainedSvm<S1, K1>, TrainedSvm<S2, K2>),
-    unlabeled_a: &[S1],
-    unlabeled_b: &[S2],
+    unlabeled_a: &[B1],
+    unlabeled_b: &[B2],
     y_prime: &mut [f64],
     cfg: &CoupledConfig,
     report: &mut TrainReport,
@@ -218,9 +273,11 @@ fn run_label_correction<S1, K1, S2, K2, F>(
     train_pair: &F,
 ) -> Result<(), SvmError>
 where
-    S1: Clone,
+    S1: ?Sized + ToOwned,
+    B1: Borrow<S1>,
     K1: Kernel<S1>,
-    S2: Clone,
+    S2: ?Sized + ToOwned,
+    B2: Borrow<S2>,
     K2: Kernel<S2>,
     F: Fn(f64, &[f64], &mut usize) -> Result<(TrainedSvm<S1, K1>, TrainedSvm<S2, K2>), SvmError>,
 {

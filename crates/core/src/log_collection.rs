@@ -76,7 +76,8 @@ fn refine_with_svm(
     for &(id, r) in judged {
         latest.insert(id, r);
     }
-    let samples: Vec<Vec<f64>> = latest.keys().map(|&id| db.feature(id).clone()).collect();
+    // Borrowed row views — a session's judged set is never deep-copied.
+    let samples: Vec<&[f64]> = latest.keys().map(|&id| db.feature(id)).collect();
     let labels: Vec<f64> = latest.values().map(|r| r.sign()).collect();
     let bounds = vec![lrf.coupled.c_content; samples.len()];
     let svm = train(
@@ -87,11 +88,7 @@ fn refine_with_svm(
         &lrf.coupled.smo,
     )
     .expect("collection-time SVM cannot fail on validated judgments");
-    let scores: Vec<f64> = db
-        .features()
-        .iter()
-        .map(|f| svm.model.decision(f))
-        .collect();
+    let scores = svm.model.decision_batch_rows(db.features_flat(), db.dim());
     crate::feedback::rank_by_scores(&scores)
 }
 

@@ -28,14 +28,15 @@ impl Lrf2Svms {
         Self { config }
     }
 
-    /// Trains the log-side SVM on the labeled round. Exposed for reuse by
+    /// Trains the log-side SVM on the labeled round, borrowing the log
+    /// vectors from the store (no clone per sample). Exposed for reuse by
     /// LRF-CSVM (this is its log-side initial model).
     pub fn train_log_svm(&self, ctx: &QueryContext<'_>) -> TrainedSvm<SparseVector, LogKernel> {
-        let samples: Vec<SparseVector> = ctx
+        let samples: Vec<&SparseVector> = ctx
             .example
             .labeled
             .iter()
-            .map(|&(id, _)| ctx.log.log_vector(id).clone())
+            .map(|&(id, _)| ctx.log.log_vector(id))
             .collect();
         let labels: Vec<f64> = ctx.example.labeled.iter().map(|&(_, y)| y).collect();
         let bounds = vec![self.config.coupled.c_log; samples.len()];
@@ -49,15 +50,13 @@ impl Lrf2Svms {
         .expect("log SVM training cannot fail on validated feedback rounds")
     }
 
-    /// Scores every database image under a log model.
+    /// Scores every database image under a log model: one parallel batch
+    /// pass over the store's log vectors.
     pub fn score_all_log(
         log: &lrf_logdb::LogStore,
         model: &SvmModel<SparseVector, LogKernel>,
     ) -> Vec<f64> {
-        log.log_vectors()
-            .iter()
-            .map(|r| model.decision(r))
-            .collect()
+        model.decision_batch(log.log_vectors())
     }
 
     /// Scores a subset of images under a log model (aligned with `ids`).
@@ -66,9 +65,8 @@ impl Lrf2Svms {
         model: &SvmModel<SparseVector, LogKernel>,
         ids: &[usize],
     ) -> Vec<f64> {
-        ids.iter()
-            .map(|&id| model.decision(log.log_vector(id)))
-            .collect()
+        let rows: Vec<&SparseVector> = ids.iter().map(|&id| log.log_vector(id)).collect();
+        model.decision_batch(&rows)
     }
 }
 

@@ -94,27 +94,26 @@ impl LrfCsvm {
 
         let (unlabeled_ids, y_init) = self.select_unlabeled_in(ctx, scored);
 
-        // ---- Step 2: coupled training. ----
-        let labeled_x: Vec<Vec<f64>> = ctx
+        // ---- Step 2: coupled training — on borrowed slices. The round's
+        // samples are row views of the database's flat matrix and
+        // references into the log store; nothing is cloned to train.
+        let labeled_x: Vec<&[f64]> = ctx
             .example
             .labeled
             .iter()
-            .map(|&(id, _)| db.feature(id).clone())
+            .map(|&(id, _)| db.feature(id))
             .collect();
-        let labeled_r: Vec<SparseVector> = ctx
+        let labeled_r: Vec<&SparseVector> = ctx
             .example
             .labeled
             .iter()
-            .map(|&(id, _)| ctx.log.log_vector(id).clone())
+            .map(|&(id, _)| ctx.log.log_vector(id))
             .collect();
         let y: Vec<f64> = ctx.example.labeled.iter().map(|&(_, l)| l).collect();
-        let unl_x: Vec<Vec<f64>> = unlabeled_ids
+        let unl_x: Vec<&[f64]> = unlabeled_ids.iter().map(|&id| db.feature(id)).collect();
+        let unl_r: Vec<&SparseVector> = unlabeled_ids
             .iter()
-            .map(|&id| db.feature(id).clone())
-            .collect();
-        let unl_r: Vec<SparseVector> = unlabeled_ids
-            .iter()
-            .map(|&id| ctx.log.log_vector(id).clone())
+            .map(|&id| ctx.log.log_vector(id))
             .collect();
 
         let gamma_content = cfg
@@ -133,10 +132,18 @@ impl LrfCsvm {
         )
         .expect("coupled training cannot fail on validated feedback rounds");
 
-        // ---- Step 3: rank by CSVM_Dist over the retrieval universe. ----
-        let scores: Vec<f64> = universe
+        // ---- Step 3: rank by CSVM_Dist over the retrieval universe. Both
+        // machines score their whole candidate pool in one parallel batch
+        // pass; the per-id sum equals `coupled_score` exactly.
+        let content_rows: Vec<&[f64]> = universe.iter().map(|&id| db.feature(id)).collect();
+        let log_rows: Vec<&SparseVector> =
+            universe.iter().map(|&id| ctx.log.log_vector(id)).collect();
+        let content_dist = outcome.content.model.decision_batch(&content_rows);
+        let log_dist = outcome.log.model.decision_batch(&log_rows);
+        let scores: Vec<f64> = content_dist
             .iter()
-            .map(|&id| outcome.coupled_score(db.feature(id), ctx.log.log_vector(id)))
+            .zip(&log_dist)
+            .map(|(c, l)| c + l)
             .collect();
         // Order universe members by descending score, ties by id — for the
         // full universe this is exactly rank_by_scores.

@@ -29,9 +29,9 @@ pub enum DenseKernel {
     },
 }
 
-impl Kernel<Vec<f64>> for DenseKernel {
+impl Kernel<[f64]> for DenseKernel {
     #[inline]
-    fn compute(&self, a: &Vec<f64>, b: &Vec<f64>) -> f64 {
+    fn compute(&self, a: &[f64], b: &[f64]) -> f64 {
         match self {
             DenseKernel::Linear => lrf_svm::kernel::dot(a, b),
             DenseKernel::Rbf { gamma } => (-gamma * lrf_svm::kernel::squared_distance(a, b)).exp(),
@@ -88,7 +88,7 @@ impl Default for MultiCoupledConfig {
 #[derive(Clone, Debug)]
 pub struct MultiCoupledOutcome {
     /// One trained machine per modality, in input order.
-    pub machines: Vec<TrainedSvm<Vec<f64>, DenseKernel>>,
+    pub machines: Vec<TrainedSvm<[f64], DenseKernel>>,
     /// Training diagnostics (shared across modalities).
     pub report: TrainReport,
 }
@@ -113,7 +113,7 @@ impl MultiCoupledOutcome {
     }
 
     /// Borrow the per-modality models.
-    pub fn models(&self) -> impl Iterator<Item = &SvmModel<Vec<f64>, DenseKernel>> {
+    pub fn models(&self) -> impl Iterator<Item = &SvmModel<[f64], DenseKernel>> {
         self.machines.iter().map(|m| &m.model)
     }
 }
@@ -161,16 +161,23 @@ pub fn train_multi_coupled(
         final_labels: Vec::new(),
     };
 
-    // Concatenated per-modality sample arrays.
-    let all: Vec<Vec<Vec<f64>>> = modalities
+    // Concatenated per-modality sample arrays — borrowed row views into
+    // the caller's modality data, not clones.
+    let all: Vec<Vec<&[f64]>> = modalities
         .iter()
-        .map(|m| m.labeled.iter().chain(&m.unlabeled).cloned().collect())
+        .map(|m| {
+            m.labeled
+                .iter()
+                .chain(&m.unlabeled)
+                .map(Vec::as_slice)
+                .collect()
+        })
         .collect();
 
     let train_all = |rho_star: f64,
                      y_prime: &[f64],
                      retrains: &mut usize|
-     -> Result<Vec<TrainedSvm<Vec<f64>, DenseKernel>>, SvmError> {
+     -> Result<Vec<TrainedSvm<[f64], DenseKernel>>, SvmError> {
         let mut labels = Vec::with_capacity(n_l + n_u);
         labels.extend_from_slice(y);
         labels.extend_from_slice(y_prime);
@@ -184,7 +191,7 @@ pub fn train_multi_coupled(
         Ok(out)
     };
 
-    let correction = |machines: &mut Vec<TrainedSvm<Vec<f64>, DenseKernel>>,
+    let correction = |machines: &mut Vec<TrainedSvm<[f64], DenseKernel>>,
                       y_prime: &mut Vec<f64>,
                       report: &mut TrainReport,
                       rho_star: f64|

@@ -39,7 +39,7 @@ impl<'a> PooledRetrieval<'a> {
     /// labeled ids appended if an approximate backend missed any — the
     /// scheme trained on them, so they must be rankable.
     pub fn pool(&self, ctx: &QueryContext<'_>) -> Vec<usize> {
-        let query_feature = ctx.db.feature_row(ctx.example.query);
+        let query_feature = ctx.db.feature(ctx.example.query);
         let mut pool: Vec<usize> = self
             .index
             .search(query_feature, self.pool_size.min(ctx.db.len()))

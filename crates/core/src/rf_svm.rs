@@ -24,15 +24,16 @@ impl RfSvm {
         Self { config }
     }
 
-    /// Trains the content SVM for one feedback round. Exposed for reuse by
-    /// the log-based schemes (this is exactly their content-side initial
-    /// model).
-    pub fn train_content_svm(&self, ctx: &QueryContext<'_>) -> TrainedSvm<Vec<f64>, RbfKernel> {
-        let samples: Vec<Vec<f64>> = ctx
+    /// Trains the content SVM for one feedback round on borrowed row views
+    /// of the database's flat matrix — no feature is cloned. Exposed for
+    /// reuse by the log-based schemes (this is exactly their content-side
+    /// initial model).
+    pub fn train_content_svm(&self, ctx: &QueryContext<'_>) -> TrainedSvm<[f64], RbfKernel> {
+        let samples: Vec<&[f64]> = ctx
             .example
             .labeled
             .iter()
-            .map(|&(id, _)| ctx.db.feature(id).clone())
+            .map(|&(id, _)| ctx.db.feature(id))
             .collect();
         let labels: Vec<f64> = ctx.example.labeled.iter().map(|&(_, y)| y).collect();
         let bounds = vec![self.config.coupled.c_content; samples.len()];
@@ -50,24 +51,21 @@ impl RfSvm {
         .expect("content SVM training cannot fail on validated feedback rounds")
     }
 
-    /// Scores every database image under a content model.
-    pub fn score_all(
-        db: &lrf_cbir::ImageDatabase,
-        model: &SvmModel<Vec<f64>, RbfKernel>,
-    ) -> Vec<f64> {
-        db.features().iter().map(|f| model.decision(f)).collect()
+    /// Scores every database image under a content model: one parallel
+    /// batch pass over the flat feature matrix.
+    pub fn score_all(db: &lrf_cbir::ImageDatabase, model: &SvmModel<[f64], RbfKernel>) -> Vec<f64> {
+        model.decision_batch_rows(db.features_flat(), db.dim())
     }
 
     /// Scores a subset of images under a content model (aligned with
-    /// `ids`) — the candidate-pool path.
+    /// `ids`) — the candidate-pool path. Batched over borrowed rows.
     pub fn score_subset(
         db: &lrf_cbir::ImageDatabase,
-        model: &SvmModel<Vec<f64>, RbfKernel>,
+        model: &SvmModel<[f64], RbfKernel>,
         ids: &[usize],
     ) -> Vec<f64> {
-        ids.iter()
-            .map(|&id| model.decision(db.feature(id)))
-            .collect()
+        let rows: Vec<&[f64]> = ids.iter().map(|&id| db.feature(id)).collect();
+        model.decision_batch(&rows)
     }
 }
 
@@ -171,6 +169,33 @@ mod tests {
             pos_mean < neg_mean,
             "positives should rank earlier: pos {pos_mean} vs neg {neg_mean}"
         );
+    }
+
+    #[test]
+    fn batched_scores_match_per_image_decisions() {
+        // The ranking contract of the refactor: the batch scorer feeding
+        // every SVM scheme is bit-identical to scoring one image at a time.
+        let (ds, log) = setup();
+        let proto = QueryProtocol {
+            n_queries: 1,
+            n_labeled: 8,
+            seed: 0,
+        };
+        let example = proto.feedback_example(&ds.db, 5);
+        let svm = RfSvm::default().train_content_svm(&QueryContext {
+            db: &ds.db,
+            log: &log,
+            example: &example,
+        });
+        let batched = RfSvm::score_all(&ds.db, &svm.model);
+        let serial: Vec<f64> = (0..ds.db.len())
+            .map(|id| svm.model.decision(ds.db.feature(id)))
+            .collect();
+        assert_eq!(batched, serial);
+        let ids: Vec<usize> = (0..ds.db.len()).step_by(3).collect();
+        let subset = RfSvm::score_subset(&ds.db, &svm.model, &ids);
+        let expect: Vec<f64> = ids.iter().map(|&id| serial[id]).collect();
+        assert_eq!(subset, expect);
     }
 
     #[test]

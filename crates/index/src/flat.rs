@@ -8,11 +8,16 @@
 
 use crate::{d2, AnnIndex, Neighbor, SearchStats, TopK};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Exact Euclidean nearest-neighbor search.
+///
+/// The indexed matrix is held behind an [`Arc`]: building from a shared
+/// handle ([`FlatIndex::from_shared`]) costs no copy at all, so a database
+/// and any number of indexes over it share one feature allocation.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct FlatIndex {
-    data: Vec<f64>,
+    data: Arc<Vec<f64>>,
     dim: usize,
 }
 
@@ -41,22 +46,36 @@ pub fn exact_top_k(data: &[f64], dim: usize, query: &[f64], k: usize) -> Vec<Nei
 const PARALLEL_THRESHOLD: usize = 8192;
 
 impl FlatIndex {
-    /// Indexes `n = data.len() / dim` vectors from a row-major matrix.
+    /// Indexes `n = data.len() / dim` vectors from a row-major matrix
+    /// (copies the data; prefer [`Self::from_shared`] when the caller
+    /// already holds the matrix behind an `Arc`).
     ///
     /// # Panics
     /// Panics if `dim == 0` or `data.len()` is not a multiple of `dim`.
     pub fn build(data: &[f64], dim: usize) -> Self {
+        Self::from_shared(Arc::new(data.to_vec()), dim)
+    }
+
+    /// Indexes a shared row-major matrix **without copying it** — the
+    /// zero-copy path `lrf-cbir` uses to put an index over the database's
+    /// own feature allocation.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0` or `data.len()` is not a multiple of `dim`.
+    pub fn from_shared(data: Arc<Vec<f64>>, dim: usize) -> Self {
         assert!(dim > 0, "dimension must be positive");
         assert_eq!(data.len() % dim, 0, "data length must be a multiple of dim");
-        Self {
-            data: data.to_vec(),
-            dim,
-        }
+        Self { data, dim }
     }
 
     /// The indexed matrix (row-major).
     pub fn data(&self) -> &[f64] {
         &self.data
+    }
+
+    /// The shared handle to the indexed matrix.
+    pub fn shared_data(&self) -> Arc<Vec<f64>> {
+        Arc::clone(&self.data)
     }
 
     /// One indexed vector.
@@ -279,6 +298,18 @@ mod tests {
         for (q, got) in queries.iter().zip(&batch) {
             assert_eq!(got, &index.search(q, 8));
         }
+    }
+
+    #[test]
+    fn from_shared_does_not_copy() {
+        let data = Arc::new(random_matrix(30, 4, 2));
+        let index = FlatIndex::from_shared(Arc::clone(&data), 4);
+        assert!(Arc::ptr_eq(&data, &index.shared_data()));
+        // Clones of the index still share the one allocation.
+        assert!(Arc::ptr_eq(&data, &index.clone().shared_data()));
+        // And the search results equal the copying constructor's.
+        let copied = FlatIndex::build(&data, 4);
+        assert_eq!(index.search(&data[0..4], 5), copied.search(&data[0..4], 5));
     }
 
     #[test]

@@ -12,6 +12,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// IVF build/search parameters.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -39,10 +40,12 @@ impl Default for IvfConfig {
     }
 }
 
-/// The inverted-file index.
+/// The inverted-file index. The raw matrix is [`Arc`]-shared with the
+/// caller ([`IvfIndex::build_shared`]); only the centroids and the
+/// inverted lists are index-owned.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct IvfIndex {
-    data: Vec<f64>,
+    data: Arc<Vec<f64>>,
     dim: usize,
     /// Row-major `nlist × dim` centroid matrix.
     centroids: Vec<f64>,
@@ -53,12 +56,24 @@ pub struct IvfIndex {
 }
 
 impl IvfIndex {
-    /// Builds the index over a row-major matrix.
+    /// Builds the index over a row-major matrix (copies the data; prefer
+    /// [`Self::build_shared`] when the matrix is already behind an `Arc`).
     ///
     /// # Panics
     /// Panics if `dim == 0`, `data.len()` is not a multiple of `dim`, the
     /// collection is empty, or `config.nlist == 0` / `config.nprobe == 0`.
     pub fn build(data: &[f64], dim: usize, config: &IvfConfig) -> Self {
+        Self::build_shared(Arc::new(data.to_vec()), dim, config)
+    }
+
+    /// Builds the index over a shared row-major matrix **without copying
+    /// it** — k-means reads the data in place and the finished index holds
+    /// the same allocation the caller does.
+    ///
+    /// # Panics
+    /// As [`Self::build`].
+    pub fn build_shared(shared: Arc<Vec<f64>>, dim: usize, config: &IvfConfig) -> Self {
+        let data: &[f64] = &shared;
         assert!(dim > 0, "dimension must be positive");
         assert_eq!(data.len() % dim, 0, "data length must be a multiple of dim");
         let n = data.len() / dim;
@@ -125,12 +140,17 @@ impl IvfIndex {
         }
 
         Self {
-            data: data.to_vec(),
+            data: shared,
             dim,
             centroids,
             lists,
             nprobe: config.nprobe,
         }
+    }
+
+    /// The shared handle to the indexed matrix.
+    pub fn shared_data(&self) -> Arc<Vec<f64>> {
+        Arc::clone(&self.data)
     }
 
     /// Number of cells actually built.

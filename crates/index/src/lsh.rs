@@ -11,6 +11,7 @@ use crate::{d2, AnnIndex, Neighbor, SearchStats, TopK};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// LSH build/search parameters.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -71,10 +72,12 @@ impl Table {
     }
 }
 
-/// The multi-table LSH index.
+/// The multi-table LSH index. The raw matrix is [`Arc`]-shared with the
+/// caller ([`LshIndex::build_shared`]); only the hyperplanes and buckets
+/// are index-owned.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct LshIndex {
-    data: Vec<f64>,
+    data: Arc<Vec<f64>>,
     dim: usize,
     n_bits: usize,
     tables: Vec<Table>,
@@ -83,12 +86,24 @@ pub struct LshIndex {
 }
 
 impl LshIndex {
-    /// Builds the index over a row-major matrix.
+    /// Builds the index over a row-major matrix (copies the data; prefer
+    /// [`Self::build_shared`] when the matrix is already behind an `Arc`).
     ///
     /// # Panics
     /// Panics if `dim == 0`, `data.len()` is not a multiple of `dim`, the
     /// collection is empty, `n_tables == 0`, or `n_bits ∉ [1, 24]`.
     pub fn build(data: &[f64], dim: usize, config: &LshConfig) -> Self {
+        Self::build_shared(Arc::new(data.to_vec()), dim, config)
+    }
+
+    /// Builds the index over a shared row-major matrix **without copying
+    /// it** — hashing reads the data in place and the finished index holds
+    /// the same allocation the caller does.
+    ///
+    /// # Panics
+    /// As [`Self::build`].
+    pub fn build_shared(shared: Arc<Vec<f64>>, dim: usize, config: &LshConfig) -> Self {
+        let data: &[f64] = &shared;
         assert!(dim > 0, "dimension must be positive");
         assert_eq!(data.len() % dim, 0, "data length must be a multiple of dim");
         let n = data.len() / dim;
@@ -127,12 +142,17 @@ impl LshIndex {
             .collect();
 
         Self {
-            data: data.to_vec(),
+            data: shared,
             dim,
             n_bits: config.n_bits,
             tables,
             probes: config.probes,
         }
+    }
+
+    /// The shared handle to the indexed matrix.
+    pub fn shared_data(&self) -> Arc<Vec<f64>> {
+        Arc::clone(&self.data)
     }
 
     /// Number of hash tables.

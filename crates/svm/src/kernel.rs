@@ -1,12 +1,16 @@
 //! Kernel functions.
 //!
 //! [`Kernel`] is generic over the sample type `S`: the retrieval stack runs
-//! the same SMO solver over dense 36-D visual features (`Vec<f64>`) and
-//! over sparse feedback-log vectors (a type owned by `lrf-core`, which
-//! implements this trait for it). All provided kernels satisfy Mercer's
-//! condition on their usual domains.
+//! the same SMO solver over dense 36-D visual features (borrowed `[f64]`
+//! rows of the database's flat matrix) and over sparse feedback-log vectors
+//! (a type owned by `lrf-core`, which implements this trait for it). The
+//! dense kernels are implemented for the *unsized* slice type so callers
+//! never have to materialize per-sample `Vec`s — a `&Vec<f64>` coerces, a
+//! row view of a contiguous matrix is already the right shape. All provided
+//! kernels satisfy Mercer's condition on their usual domains.
 
 use serde::{Deserialize, Serialize};
+use std::borrow::Borrow;
 
 /// A positive-semidefinite similarity function over samples of type `S`.
 pub trait Kernel<S: ?Sized> {
@@ -38,9 +42,9 @@ pub fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LinearKernel;
 
-impl Kernel<Vec<f64>> for LinearKernel {
+impl Kernel<[f64]> for LinearKernel {
     #[inline]
-    fn compute(&self, a: &Vec<f64>, b: &Vec<f64>) -> f64 {
+    fn compute(&self, a: &[f64], b: &[f64]) -> f64 {
         dot(a, b)
     }
 }
@@ -74,9 +78,9 @@ impl RbfKernel {
     }
 }
 
-impl Kernel<Vec<f64>> for RbfKernel {
+impl Kernel<[f64]> for RbfKernel {
     #[inline]
-    fn compute(&self, a: &Vec<f64>, b: &Vec<f64>) -> f64 {
+    fn compute(&self, a: &[f64], b: &[f64]) -> f64 {
         (-self.gamma * squared_distance(a, b)).exp()
     }
 }
@@ -113,29 +117,71 @@ impl PolyKernel {
     }
 }
 
-impl Kernel<Vec<f64>> for PolyKernel {
+impl Kernel<[f64]> for PolyKernel {
     #[inline]
-    fn compute(&self, a: &Vec<f64>, b: &Vec<f64>) -> f64 {
+    fn compute(&self, a: &[f64], b: &[f64]) -> f64 {
         (self.gamma * dot(a, b) + self.coef0).powi(self.degree as i32)
     }
 }
 
-/// Precomputes the dense Gram matrix `K_ij` for a sample set.
+/// A dense symmetric Gram matrix in **one contiguous row-major
+/// allocation** — `n` samples, `n × n` values, no per-row boxes. The SMO
+/// solver's gradient loop walks whole rows linearly, so the flat layout
+/// turns its hottest access pattern into a single cache-friendly scan.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GramMatrix {
+    data: Vec<f64>,
+    n: usize,
+}
+
+impl GramMatrix {
+    /// Number of samples (the matrix is `n × n`).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// `K(i, j)`.
+    #[inline]
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Row `i` as a contiguous slice (`K(i, ·)`).
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// The whole matrix, row-major.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+/// Precomputes the dense Gram matrix `K_ij` for a sample set into a flat
+/// [`GramMatrix`].
 ///
-/// Solver-internal; problems in this workspace are small (tens to a few
-/// hundred points), so a full dense matrix is both the fastest and the
-/// simplest correct choice.
-pub fn gram_matrix<S, K: Kernel<S>>(kernel: &K, samples: &[S]) -> Vec<Vec<f64>> {
+/// Accepts anything that borrows as the kernel's sample type: owned
+/// vectors, row views of a flat feature matrix, `&SparseVector`s — the
+/// samples are only read, never cloned. Solver-internal; problems in this
+/// workspace are small (tens to a few hundred points), so a full dense
+/// matrix is both the fastest and the simplest correct choice.
+pub fn gram_matrix<S, B, K>(kernel: &K, samples: &[B]) -> GramMatrix
+where
+    S: ?Sized,
+    B: Borrow<S>,
+    K: Kernel<S>,
+{
     let n = samples.len();
-    let mut m = vec![vec![0.0f64; n]; n];
+    let mut data = vec![0.0f64; n * n];
     for i in 0..n {
         for j in 0..=i {
-            let v = kernel.compute(&samples[i], &samples[j]);
-            m[i][j] = v;
-            m[j][i] = v;
+            let v = kernel.compute(samples[i].borrow(), samples[j].borrow());
+            data[i * n + j] = v;
+            data[j * n + i] = v;
         }
     }
-    m
+    GramMatrix { data, n }
 }
 
 #[cfg(test)]
@@ -148,6 +194,16 @@ mod tests {
         let a = vec![1.0, 2.0, 3.0];
         let b = vec![4.0, -5.0, 6.0];
         assert_eq!(LinearKernel.compute(&a, &b), 4.0 - 10.0 + 18.0);
+    }
+
+    #[test]
+    fn kernels_accept_borrowed_slices() {
+        // The zero-copy path: kernel evaluation directly on row views of a
+        // flat matrix, no Vec per sample.
+        let flat = [1.0, 2.0, 4.0, -5.0];
+        let (a, b) = flat.split_at(2);
+        assert_eq!(LinearKernel.compute(a, b), 4.0 - 10.0);
+        assert!((RbfKernel::new(1.0).compute(a, a) - 1.0).abs() < 1e-15);
     }
 
     #[test]
@@ -192,12 +248,45 @@ mod tests {
             vec![3.0, 3.0],
         ];
         let g = gram_matrix(&RbfKernel::new(0.3), &samples);
-        for (i, row) in g.iter().enumerate() {
-            assert!((row[i] - 1.0).abs() < 1e-12);
-            for (j, v) in row.iter().enumerate() {
-                assert_eq!(*v, g[j][i]);
+        assert_eq!(g.n(), 4);
+        for i in 0..g.n() {
+            assert!((g.at(i, i) - 1.0).abs() < 1e-12);
+            for j in 0..g.n() {
+                assert_eq!(g.at(i, j), g.at(j, i));
+                assert_eq!(g.row(i)[j], g.at(i, j));
             }
         }
+    }
+
+    #[test]
+    fn gram_matrix_over_borrowed_rows_matches_owned() {
+        let flat: Vec<f64> = (0..12).map(|i| (i as f64 * 0.7).sin()).collect();
+        let owned: Vec<Vec<f64>> = flat.chunks(3).map(<[f64]>::to_vec).collect();
+        let rows: Vec<&[f64]> = flat.chunks(3).collect();
+        let k = RbfKernel::new(0.8);
+        assert_eq!(
+            gram_matrix::<[f64], _, _>(&k, &owned).as_slice(),
+            gram_matrix::<[f64], _, _>(&k, &rows).as_slice()
+        );
+    }
+
+    /// Nested reference implementation of the Gram matrix (the layout the
+    /// solver used before the flat refactor) — kept solely to pin the flat
+    /// version against.
+    fn gram_nested<S: ?Sized, B: Borrow<S>, K: Kernel<S>>(
+        kernel: &K,
+        samples: &[B],
+    ) -> Vec<Vec<f64>> {
+        let n = samples.len();
+        let mut m = vec![vec![0.0f64; n]; n];
+        for i in 0..n {
+            for j in 0..=i {
+                let v = kernel.compute(samples[i].borrow(), samples[j].borrow());
+                m[i][j] = v;
+                m[j][i] = v;
+            }
+        }
+        m
     }
 
     proptest! {
@@ -226,6 +315,33 @@ mod tests {
             prop_assert!((0.0..=1.0 + 1e-12).contains(&v));
         }
 
+        /// The flat Gram matrix is bit-identical, entry for entry, to the
+        /// nested reference on random inputs under every dense kernel.
+        #[test]
+        fn flat_gram_matches_nested_reference(
+            flat in proptest::collection::vec(-3.0f64..3.0, 15),
+            gamma in 0.05f64..2.0,
+        ) {
+            let samples: Vec<Vec<f64>> = flat.chunks(3).map(<[f64]>::to_vec).collect();
+            let rbf = RbfKernel::new(gamma);
+            let flat_g = gram_matrix(&rbf, &samples);
+            let nested = gram_nested::<[f64], _, _>(&rbf, &samples);
+            prop_assert_eq!(flat_g.n(), nested.len());
+            for (i, nested_row) in nested.iter().enumerate() {
+                for (j, &want) in nested_row.iter().enumerate() {
+                    // Bit-identical, not approximately equal.
+                    prop_assert_eq!(flat_g.at(i, j), want, "rbf ({}, {})", i, j);
+                }
+            }
+            let lin_flat = gram_matrix(&LinearKernel, &samples);
+            let lin_nested = gram_nested::<[f64], _, _>(&LinearKernel, &samples);
+            for (i, nested_row) in lin_nested.iter().enumerate() {
+                for (j, &want) in nested_row.iter().enumerate() {
+                    prop_assert_eq!(lin_flat.at(i, j), want, "lin ({}, {})", i, j);
+                }
+            }
+        }
+
         /// The RBF Gram matrix is positive semidefinite: zᵀGz ≥ 0. We check
         /// with random z over random small sample sets.
         #[test]
@@ -239,7 +355,7 @@ mod tests {
             let mut quad = 0.0;
             for i in 0..4 {
                 for j in 0..4 {
-                    quad += z[i] * g[i][j] * z[j];
+                    quad += z[i] * g.at(i, j) * z[j];
                 }
             }
             prop_assert!(quad >= -1e-9, "quadratic form {quad}");

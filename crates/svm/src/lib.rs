@@ -7,7 +7,9 @@
 //!
 //! * [`kernel`] — the [`Kernel`] trait plus dense linear / RBF / polynomial
 //!   kernels. The trait is generic over the sample type so downstream
-//!   crates can run the same solver over sparse feedback-log vectors.
+//!   crates can run the same solver over sparse feedback-log vectors; the
+//!   dense kernels target `[f64]`, so borrowed row views of a flat feature
+//!   matrix train and score with zero copies.
 //! * [`smo`] — the C-SVC dual solved by Sequential Minimal Optimization
 //!   with LIBSVM's second-order working-set selection, supporting an
 //!   individual upper bound `C_i` per sample.
@@ -50,6 +52,6 @@ pub mod model;
 pub mod smo;
 
 pub use error::SvmError;
-pub use kernel::{Kernel, LinearKernel, PolyKernel, RbfKernel};
+pub use kernel::{gram_matrix, GramMatrix, Kernel, LinearKernel, PolyKernel, RbfKernel};
 pub use model::{ModelKind, SvmModel, TrainedSvm};
 pub use smo::{train, SmoParams, SolveStats};

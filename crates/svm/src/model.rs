@@ -1,8 +1,15 @@
-//! Trained SVM models: decision function, margins, slack extraction.
+//! Trained SVM models: decision function, batch scoring, margins, slack
+//! extraction.
+//!
+//! Models are generic over a possibly-unsized sample type `S` (e.g.
+//! `[f64]`): the decision function *reads* borrowed samples, while the
+//! support vectors are stored as `S::Owned` (e.g. `Vec<f64>`) so the model
+//! stays self-contained after the training round's borrows end.
 
 use crate::kernel::Kernel;
 use crate::smo::SolveStats;
 use serde::{Deserialize, Serialize};
+use std::borrow::Borrow;
 
 /// How a model was produced.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -15,23 +22,59 @@ pub enum ModelKind {
     Constant,
 }
 
+/// Below this many samples a batch decision call stays serial — the scoped
+/// thread spawn costs more than the scoring itself. Lower than the flat
+/// index's scan threshold because a decision costs `n_sv` kernel
+/// evaluations per sample, not one distance.
+const BATCH_PARALLEL_THRESHOLD: usize = 1024;
+
+/// Threads worth forking for a batch of `n` samples (1 = stay serial).
+fn batch_threads(n: usize) -> usize {
+    if n < BATCH_PARALLEL_THRESHOLD {
+        return 1;
+    }
+    std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1)
+}
+
+/// Shared scoped-thread scaffolding of the batch scorers: applies `score`
+/// to `chunk_len`-sized pieces of `data` concurrently and concatenates the
+/// results in order (so the output is bit-identical to one serial pass).
+fn parallel_map_chunks<T, F>(data: &[T], chunk_len: usize, score: F) -> Vec<f64>
+where
+    T: Sync,
+    F: Fn(&[T]) -> Vec<f64> + Sync,
+{
+    std::thread::scope(|scope| {
+        let score = &score;
+        let handles: Vec<_> = data
+            .chunks(chunk_len)
+            .map(|part| scope.spawn(move || score(part)))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("batch scoring worker panicked"))
+            .collect()
+    })
+}
+
 /// A trained (or degenerate-constant) SVM decision function
 /// `f(x) = Σ_i coef_i · K(sv_i, x) + b`.
-#[derive(Clone, Debug, Serialize, Deserialize)]
-pub struct SvmModel<S, K> {
+pub struct SvmModel<S: ?Sized + ToOwned, K> {
     kernel: K,
-    support_vectors: Vec<S>,
+    support_vectors: Vec<S::Owned>,
     /// `α_i · y_i` per support vector.
     coefficients: Vec<f64>,
     bias: f64,
     kind: ModelKind,
 }
 
-impl<S, K: Kernel<S>> SvmModel<S, K> {
+impl<S: ?Sized + ToOwned, K: Kernel<S>> SvmModel<S, K> {
     /// Builds a model from solver output (`bias = −ρ` in LIBSVM terms).
     pub(crate) fn new(
         kernel: K,
-        support_vectors: Vec<S>,
+        support_vectors: Vec<S::Owned>,
         coefficients: Vec<f64>,
         bias: f64,
     ) -> Self {
@@ -57,13 +100,39 @@ impl<S, K: Kernel<S>> SvmModel<S, K> {
         }
     }
 
+    /// Assembles a model from pre-existing parts (a deserialized dual
+    /// solution, a synthetic model for benches/tools). The decision
+    /// function is `Σ coefficients[i]·K(support_vectors[i], x) + bias`.
+    ///
+    /// # Panics
+    /// Panics if `support_vectors` and `coefficients` differ in length.
+    pub fn from_parts(
+        kernel: K,
+        support_vectors: Vec<S::Owned>,
+        coefficients: Vec<f64>,
+        bias: f64,
+    ) -> Self {
+        assert_eq!(
+            support_vectors.len(),
+            coefficients.len(),
+            "support vectors / coefficients mismatch"
+        );
+        Self {
+            kernel,
+            support_vectors,
+            coefficients,
+            bias,
+            kind: ModelKind::Trained,
+        }
+    }
+
     /// The decision value `f(x)`; the predicted class is its sign, the
     /// magnitude is the (unnormalized) distance from the separating
     /// hyperplane — the quantity the paper calls `SVM_Dist`.
     pub fn decision(&self, x: &S) -> f64 {
         let mut f = self.bias;
         for (sv, &coef) in self.support_vectors.iter().zip(&self.coefficients) {
-            f += coef * self.kernel.compute(sv, x);
+            f += coef * self.kernel.compute(sv.borrow(), x);
         }
         f
     }
@@ -94,7 +163,7 @@ impl<S, K: Kernel<S>> SvmModel<S, K> {
     }
 
     /// Support vectors retained by the model.
-    pub fn support_vectors(&self) -> &[S] {
+    pub fn support_vectors(&self) -> &[S::Owned] {
         &self.support_vectors
     }
 
@@ -115,10 +184,136 @@ impl<S, K: Kernel<S>> SvmModel<S, K> {
     }
 }
 
+impl<S, K> SvmModel<S, K>
+where
+    S: ?Sized + ToOwned + Sync,
+    S::Owned: Sync,
+    K: Kernel<S> + Sync,
+{
+    /// Decision values for many samples, one model pass — the full-database
+    /// `SVM_Dist` scan every relevance-feedback round runs. Large batches
+    /// are split across scoped threads (same pattern as `FlatIndex`'s
+    /// parallel scan); each sample is evaluated exactly as
+    /// [`Self::decision`] would, and chunks are concatenated in order, so
+    /// the result is **bit-identical** to the serial loop.
+    pub fn decision_batch<B: Borrow<S> + Sync>(&self, xs: &[B]) -> Vec<f64> {
+        let score =
+            |part: &[B]| -> Vec<f64> { part.iter().map(|x| self.decision(x.borrow())).collect() };
+        let threads = batch_threads(xs.len());
+        if threads <= 1 {
+            return score(xs);
+        }
+        parallel_map_chunks(xs, xs.len().div_ceil(threads), score)
+    }
+}
+
+impl<K: Kernel<[f64]> + Sync> SvmModel<[f64], K> {
+    /// Decision values for every row of a contiguous row-major matrix —
+    /// the zero-copy whole-database scoring path (`data` is typically the
+    /// database's shared flat feature matrix). Parallel above the batch
+    /// threshold, chunked on row boundaries; bit-identical to calling
+    /// [`Self::decision`] per row.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0`, `data.len()` is not a multiple of `dim`, or
+    /// `dim` differs from the model's support-vector dimensionality (a
+    /// mismatch would otherwise score silently misaligned row windows in
+    /// release builds, where the kernel helpers only debug-assert).
+    pub fn decision_batch_rows(&self, data: &[f64], dim: usize) -> Vec<f64> {
+        assert!(dim > 0, "dimension must be positive");
+        assert_eq!(data.len() % dim, 0, "data length must be a multiple of dim");
+        if let Some(sv) = self.support_vectors.first() {
+            assert_eq!(
+                sv.len(),
+                dim,
+                "row dimension mismatches the model's support vectors"
+            );
+        }
+        let n = data.len() / dim;
+        let score = |part: &[f64]| -> Vec<f64> {
+            part.chunks_exact(dim).map(|r| self.decision(r)).collect()
+        };
+        let threads = batch_threads(n);
+        if threads <= 1 {
+            return score(data);
+        }
+        parallel_map_chunks(data, n.div_ceil(threads) * dim, score)
+    }
+}
+
+impl<S: ?Sized + ToOwned, K: Clone> Clone for SvmModel<S, K>
+where
+    S::Owned: Clone,
+{
+    fn clone(&self) -> Self {
+        Self {
+            kernel: self.kernel.clone(),
+            support_vectors: self.support_vectors.clone(),
+            coefficients: self.coefficients.clone(),
+            bias: self.bias,
+            kind: self.kind,
+        }
+    }
+}
+
+impl<S: ?Sized + ToOwned, K: std::fmt::Debug> std::fmt::Debug for SvmModel<S, K>
+where
+    S::Owned: std::fmt::Debug,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SvmModel")
+            .field("kernel", &self.kernel)
+            .field("support_vectors", &self.support_vectors)
+            .field("coefficients", &self.coefficients)
+            .field("bias", &self.bias)
+            .field("kind", &self.kind)
+            .finish()
+    }
+}
+
+impl<S: ?Sized + ToOwned, K: Serialize> Serialize for SvmModel<S, K>
+where
+    S::Owned: Serialize,
+{
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("kernel".to_string(), self.kernel.to_value()),
+            (
+                "support_vectors".to_string(),
+                self.support_vectors.to_value(),
+            ),
+            ("coefficients".to_string(), self.coefficients.to_value()),
+            ("bias".to_string(), self.bias.to_value()),
+            ("kind".to_string(), self.kind.to_value()),
+        ])
+    }
+}
+
+impl<S: ?Sized + ToOwned, K: Deserialize> Deserialize for SvmModel<S, K>
+where
+    S::Owned: Deserialize,
+{
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let support_vectors: Vec<S::Owned> = serde::__private::field(v, "support_vectors")?;
+        let coefficients: Vec<f64> = serde::__private::field(v, "coefficients")?;
+        if support_vectors.len() != coefficients.len() {
+            return Err(serde::DeError::msg(
+                "support vectors / coefficients mismatch",
+            ));
+        }
+        Ok(Self {
+            kernel: serde::__private::field(v, "kernel")?,
+            support_vectors,
+            coefficients,
+            bias: serde::__private::field(v, "bias")?,
+            kind: serde::__private::field(v, "kind")?,
+        })
+    }
+}
+
 /// Bundle returned by [`crate::train`]: the model plus the full dual
 /// solution and solver statistics.
-#[derive(Clone, Debug)]
-pub struct TrainedSvm<S, K> {
+pub struct TrainedSvm<S: ?Sized + ToOwned, K> {
     /// The decision model.
     pub model: SvmModel<S, K>,
     /// The complete dual vector `α` over the training set (including
@@ -128,27 +323,53 @@ pub struct TrainedSvm<S, K> {
     pub stats: SolveStats,
 }
 
-impl<S, K: Kernel<S>> TrainedSvm<S, K> {
+impl<S: ?Sized + ToOwned, K: Kernel<S>> TrainedSvm<S, K> {
     /// Hinge slacks of a labeled set under this model:
     /// `ξ_i = max(0, 1 − y_i f(x_i))`. The coupled SVM calls this on its
     /// unlabeled pool after each inner round.
-    pub fn slacks(&self, samples: &[S], labels: &[f64]) -> Vec<f64> {
+    pub fn slacks<B: Borrow<S>>(&self, samples: &[B], labels: &[f64]) -> Vec<f64> {
         assert_eq!(samples.len(), labels.len());
         samples
             .iter()
             .zip(labels)
-            .map(|(x, &y)| self.model.hinge_slack(x, y))
+            .map(|(x, &y)| self.model.hinge_slack(x.borrow(), y))
             .collect()
+    }
+}
+
+impl<S: ?Sized + ToOwned, K: Clone> Clone for TrainedSvm<S, K>
+where
+    S::Owned: Clone,
+{
+    fn clone(&self) -> Self {
+        Self {
+            model: self.model.clone(),
+            alpha: self.alpha.clone(),
+            stats: self.stats,
+        }
+    }
+}
+
+impl<S: ?Sized + ToOwned, K: std::fmt::Debug> std::fmt::Debug for TrainedSvm<S, K>
+where
+    S::Owned: std::fmt::Debug,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrainedSvm")
+            .field("model", &self.model)
+            .field("alpha", &self.alpha)
+            .field("stats", &self.stats)
+            .finish()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::kernel::LinearKernel;
+    use crate::kernel::{LinearKernel, PolyKernel, RbfKernel};
     use crate::smo::{train, SmoParams};
 
-    fn simple_model() -> SvmModel<Vec<f64>, LinearKernel> {
+    fn simple_model() -> SvmModel<[f64], LinearKernel> {
         // f(x) = 1·K([1], x) − 1·K([−1], x) + 0 = 2x for linear kernel.
         SvmModel::new(
             LinearKernel,
@@ -161,38 +382,56 @@ mod tests {
     #[test]
     fn decision_is_linear_combination() {
         let m = simple_model();
-        assert_eq!(m.decision(&vec![0.5]), 1.0);
-        assert_eq!(m.decision(&vec![-2.0]), -4.0);
+        assert_eq!(m.decision(&[0.5]), 1.0);
+        assert_eq!(m.decision(&[-2.0]), -4.0);
     }
 
     #[test]
     fn predict_sign_and_tie_break() {
         let m = simple_model();
-        assert_eq!(m.predict(&vec![3.0]), 1.0);
-        assert_eq!(m.predict(&vec![-3.0]), -1.0);
-        assert_eq!(m.predict(&vec![0.0]), 1.0); // tie → positive
+        assert_eq!(m.predict(&[3.0]), 1.0);
+        assert_eq!(m.predict(&[-3.0]), -1.0);
+        assert_eq!(m.predict(&[0.0]), 1.0); // tie → positive
     }
 
     #[test]
     fn hinge_slack_formula() {
         let m = simple_model(); // f(x) = 2x
                                 // y=+1, f=2·0.25=0.5 → slack 0.5
-        assert!((m.hinge_slack(&vec![0.25], 1.0) - 0.5).abs() < 1e-12);
+        assert!((m.hinge_slack(&[0.25], 1.0) - 0.5).abs() < 1e-12);
         // y=+1, f=4 → no slack
-        assert_eq!(m.hinge_slack(&vec![2.0], 1.0), 0.0);
+        assert_eq!(m.hinge_slack(&[2.0], 1.0), 0.0);
         // y=−1, f=4 → slack 5
-        assert!((m.hinge_slack(&vec![2.0], -1.0) - 5.0).abs() < 1e-12);
+        assert!((m.hinge_slack(&[2.0], -1.0) - 5.0).abs() < 1e-12);
     }
 
     #[test]
     fn constant_model_reports_kind_and_value() {
-        let m: SvmModel<Vec<f64>, LinearKernel> = SvmModel::constant(LinearKernel, -1.0);
+        let m: SvmModel<[f64], LinearKernel> = SvmModel::constant(LinearKernel, -1.0);
         assert_eq!(m.kind(), ModelKind::Constant);
         assert_eq!(m.n_support(), 0);
-        assert_eq!(m.decision(&vec![99.0]), -1.0);
-        assert_eq!(m.predict(&vec![99.0]), -1.0);
+        assert_eq!(m.decision(&[99.0]), -1.0);
+        assert_eq!(m.predict(&[99.0]), -1.0);
         // slack of a "positive" sample under the constant −1 model is 2
-        assert_eq!(m.hinge_slack(&vec![0.0], 1.0), 2.0);
+        assert_eq!(m.hinge_slack(&[0.0], 1.0), 2.0);
+    }
+
+    #[test]
+    fn from_parts_matches_internal_constructor() {
+        let m = SvmModel::<[f64], _>::from_parts(
+            LinearKernel,
+            vec![vec![1.0], vec![-1.0]],
+            vec![1.0, -1.0],
+            0.25,
+        );
+        assert_eq!(m.kind(), ModelKind::Trained);
+        assert_eq!(m.decision(&[0.5]), 1.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn from_parts_rejects_ragged_input() {
+        let _ = SvmModel::<[f64], _>::from_parts(LinearKernel, vec![vec![1.0]], vec![], 0.0);
     }
 
     #[test]
@@ -211,5 +450,122 @@ mod tests {
         assert_eq!(slacks.len(), 2);
         // Separable with margin exactly 1 → slacks ~ 0.
         assert!(slacks.iter().all(|&s| s < 1e-6), "{slacks:?}");
+    }
+
+    /// A deterministic pseudo-random matrix (no RNG dependency needed).
+    fn waves(n: usize, dim: usize, phase: f64) -> Vec<f64> {
+        (0..n * dim)
+            .map(|i| ((i as f64) * 0.137 + phase).sin())
+            .collect()
+    }
+
+    fn batch_model<K: Kernel<[f64]> + Clone>(
+        kernel: K,
+        n_sv: usize,
+        dim: usize,
+    ) -> SvmModel<[f64], K> {
+        let svs: Vec<Vec<f64>> = waves(n_sv, dim, 0.3)
+            .chunks(dim)
+            .map(<[f64]>::to_vec)
+            .collect();
+        let coefs: Vec<f64> = (0..n_sv)
+            .map(|i| if i % 2 == 0 { 0.7 } else { -0.9 })
+            .collect();
+        SvmModel::from_parts(kernel, svs, coefs, -0.05)
+    }
+
+    /// decision_batch (parallel path included) must be bit-identical to the
+    /// per-sample decision loop for every dense kernel.
+    #[test]
+    fn decision_batch_is_bit_identical_to_serial() {
+        let dim = 8;
+        // Above BATCH_PARALLEL_THRESHOLD so the scoped-thread path runs.
+        let n = super::BATCH_PARALLEL_THRESHOLD + 321;
+        let data = waves(n, dim, 1.7);
+        let rows: Vec<&[f64]> = data.chunks_exact(dim).collect();
+
+        fn check<K: Kernel<[f64]> + Sync>(model: &SvmModel<[f64], K>, rows: &[&[f64]]) {
+            let serial: Vec<f64> = rows.iter().map(|r| model.decision(r)).collect();
+            let batch = model.decision_batch(rows);
+            assert_eq!(batch, serial, "batch diverged from serial");
+        }
+
+        check(&batch_model(LinearKernel, 8, dim), &rows);
+        check(&batch_model(RbfKernel::new(0.4), 8, dim), &rows);
+        check(&batch_model(PolyKernel::new(0.5, 1.0, 3), 8, dim), &rows);
+        // The degenerate constant model must batch too.
+        let constant: SvmModel<[f64], RbfKernel> = SvmModel::constant(RbfKernel::new(1.0), 1.0);
+        check(&constant, &rows);
+    }
+
+    /// decision_batch_rows over the flat matrix equals decision_batch over
+    /// row views equals the serial loop.
+    #[test]
+    fn decision_batch_rows_matches_row_views() {
+        let dim = 6;
+        let n = super::BATCH_PARALLEL_THRESHOLD + 77;
+        let data = waves(n, dim, 0.9);
+        let rows: Vec<&[f64]> = data.chunks_exact(dim).collect();
+        for n_sv in [0usize, 1, 8, 64] {
+            let model = if n_sv == 0 {
+                SvmModel::constant(RbfKernel::new(0.25), -1.0)
+            } else {
+                batch_model(RbfKernel::new(0.25), n_sv, dim)
+            };
+            let serial: Vec<f64> = data.chunks_exact(dim).map(|r| model.decision(r)).collect();
+            assert_eq!(model.decision_batch_rows(&data, dim), serial, "n_sv={n_sv}");
+            assert_eq!(model.decision_batch(&rows), serial, "n_sv={n_sv}");
+        }
+    }
+
+    #[test]
+    fn chunked_scaffolding_preserves_order_for_any_chunk_size() {
+        // Drives the multi-chunk path directly (a 1-core machine would
+        // otherwise always take the serial fallback): every chunk size,
+        // dividing or not, must concatenate back to the serial result.
+        let model = batch_model(RbfKernel::new(0.6), 7, 4);
+        let data = waves(50, 4, 2.2);
+        let serial: Vec<f64> = data.chunks_exact(4).map(|r| model.decision(r)).collect();
+        for chunk_rows in [1usize, 3, 7, 50, 64] {
+            let got = super::parallel_map_chunks(&data, chunk_rows * 4, |part| {
+                part.chunks_exact(4).map(|r| model.decision(r)).collect()
+            });
+            assert_eq!(got, serial, "chunk_rows={chunk_rows}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "support vectors")]
+    fn decision_batch_rows_rejects_mismatched_dim() {
+        // 4-D support vectors scored over "3-D" rows: the lengths divide
+        // evenly so only the model-dimension check can catch it.
+        let model = batch_model(RbfKernel::new(0.5), 2, 4);
+        let data = waves(4, 3, 0.0); // 12 values: divisible by 3
+        let _ = model.decision_batch_rows(&data, 3);
+    }
+
+    #[test]
+    fn small_batches_stay_serial_and_correct() {
+        let model = batch_model(RbfKernel::new(0.5), 4, 3);
+        let data = waves(10, 3, 0.1);
+        let rows: Vec<&[f64]> = data.chunks_exact(3).collect();
+        let serial: Vec<f64> = rows.iter().map(|r| model.decision(r)).collect();
+        assert_eq!(model.decision_batch(&rows), serial);
+        assert_eq!(model.decision_batch_rows(&data, 3), serial);
+        // Empty input is fine.
+        assert!(model.decision_batch_rows(&[], 3).is_empty());
+        let empty: Vec<&[f64]> = Vec::new();
+        assert!(model.decision_batch(&empty).is_empty());
+    }
+
+    #[test]
+    fn model_serde_roundtrip() {
+        let model = batch_model(RbfKernel::new(0.7), 5, 4);
+        let json = serde_json::to_string(&model).unwrap();
+        let back: SvmModel<[f64], RbfKernel> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.n_support(), 5);
+        assert_eq!(back.bias(), model.bias());
+        let probe = [0.2, -0.4, 0.8, 0.0];
+        assert_eq!(back.decision(&probe), model.decision(&probe));
     }
 }

@@ -20,9 +20,10 @@
 //! shrinks until `m(α) − M(α) ≤ ε` (default `10⁻³`, LIBSVM's default).
 
 use crate::error::SvmError;
-use crate::kernel::{gram_matrix, Kernel};
+use crate::kernel::{gram_matrix, GramMatrix, Kernel};
 use crate::model::{SvmModel, TrainedSvm};
 use serde::{Deserialize, Serialize};
+use std::borrow::Borrow;
 
 /// Solver tuning parameters.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -67,7 +68,11 @@ pub struct SolveStats {
 
 /// Trains a C-SVC with per-sample upper bounds.
 ///
-/// * `samples` — training points (cloned into the model's support set).
+/// * `samples` — training points; anything that borrows as the kernel's
+///   sample type is accepted (owned `Vec<f64>`s, borrowed `&[f64]` row
+///   views of a flat feature matrix, `&SparseVector`s). Training never
+///   clones a sample — only the retained support vectors are copied (via
+///   `ToOwned`) into the model.
 /// * `labels` — `+1.0` / `-1.0` per sample.
 /// * `upper_bounds` — `C_i > 0` per sample.
 ///
@@ -78,13 +83,18 @@ pub struct SolveStats {
 /// `α = 0` and the margin is meaningless; the returned model is a constant
 /// decision equal to that sign (see [`crate::ModelKind::Constant`]), which keeps
 /// relevance-feedback rounds total when a user marks everything relevant.
-pub fn train<S: Clone, K: Kernel<S>>(
-    samples: &[S],
+pub fn train<S, B, K>(
+    samples: &[B],
     labels: &[f64],
     upper_bounds: &[f64],
     kernel: K,
     params: &SmoParams,
-) -> Result<TrainedSvm<S, K>, SvmError> {
+) -> Result<TrainedSvm<S, K>, SvmError>
+where
+    S: ?Sized + ToOwned,
+    B: Borrow<S>,
+    K: Kernel<S>,
+{
     validate(samples.len(), labels, upper_bounds)?;
 
     let n = samples.len();
@@ -105,12 +115,13 @@ pub fn train<S: Clone, K: Kernel<S>>(
         });
     }
 
-    let k = gram_matrix(&kernel, samples);
-    for (i, row) in k.iter().enumerate() {
-        for (j, &v) in row.iter().enumerate() {
-            if !v.is_finite() {
-                return Err(SvmError::NonFiniteKernel { row: i, col: j });
-            }
+    let k = gram_matrix::<S, B, K>(&kernel, samples);
+    for (idx, &v) in k.as_slice().iter().enumerate() {
+        if !v.is_finite() {
+            return Err(SvmError::NonFiniteKernel {
+                row: idx / n,
+                col: idx % n,
+            });
         }
     }
 
@@ -122,20 +133,22 @@ pub fn train<S: Clone, K: Kernel<S>>(
         if alpha[i] == 0.0 {
             continue;
         }
+        let ki = k.row(i);
         for j in 0..n {
             if alpha[j] != 0.0 {
-                objective += 0.5 * alpha[i] * alpha[j] * labels[i] * labels[j] * k[i][j];
+                objective += 0.5 * alpha[i] * alpha[j] * labels[i] * labels[j] * ki[j];
             }
         }
         objective -= alpha[i];
     }
 
-    // Build the sparse model: keep only true support vectors.
+    // Build the sparse model: keep only true support vectors (the sole
+    // copies made of any training data).
     let mut support_vectors = Vec::new();
     let mut coefficients = Vec::new();
     for i in 0..n {
         if alpha[i] > params.sv_threshold {
-            support_vectors.push(samples[i].clone());
+            support_vectors.push(samples[i].borrow().to_owned());
             coefficients.push(alpha[i] * labels[i]);
         }
     }
@@ -178,11 +191,11 @@ fn validate(n_samples: usize, labels: &[f64], bounds: &[f64]) -> Result<(), SvmE
     Ok(())
 }
 
-/// Core SMO loop over a precomputed Gram matrix. Returns
+/// Core SMO loop over a precomputed flat Gram matrix. Returns
 /// `(alpha, rho, iterations, converged)` where the decision function is
 /// `f(x) = Σ α_i y_i K(x_i, x) − rho`.
 fn solve_dual(
-    k: &[Vec<f64>],
+    k: &GramMatrix,
     y: &[f64],
     c: &[f64],
     params: &SmoParams,
@@ -211,7 +224,7 @@ fn solve_dual(
         // ‖φ(x_i) − φ(x_j)‖² = K_ii + K_jj − 2K_ij (LIBSVM writes it as
         // QD[i] + QD[j] ± 2Q_ij because Q already carries y_i y_j).
         if y[i] != y[j] {
-            let mut quad = k[i][i] + k[j][j] - 2.0 * k[i][j];
+            let mut quad = k.at(i, i) + k.at(j, j) - 2.0 * k.at(i, j);
             if quad <= 0.0 {
                 quad = params.tau;
             }
@@ -239,7 +252,7 @@ fn solve_dual(
                 alpha[i] = cj + diff;
             }
         } else {
-            let mut quad = k[i][i] + k[j][j] - 2.0 * k[i][j];
+            let mut quad = k.at(i, i) + k.at(j, j) - 2.0 * k.at(i, j);
             if quad <= 0.0 {
                 quad = params.tau;
             }
@@ -268,14 +281,17 @@ fn solve_dual(
             }
         }
 
-        // Incremental gradient update: G_t += Q_ti Δα_i + Q_tj Δα_j.
+        // Incremental gradient update: G_t += Q_ti Δα_i + Q_tj Δα_j. The
+        // flat layout makes this the linear scan of two contiguous rows.
         let dai = alpha[i] - old_ai;
         let daj = alpha[j] - old_aj;
         if dai != 0.0 || daj != 0.0 {
             let yi = y[i];
             let yj = y[j];
+            let ki = k.row(i);
+            let kj = k.row(j);
             for t in 0..n {
-                g[t] += y[t] * (yi * k[t][i] * dai + yj * k[t][j] * daj);
+                g[t] += y[t] * (yi * ki[t] * dai + yj * kj[t] * daj);
             }
         }
     }
@@ -287,7 +303,7 @@ fn solve_dual(
 /// LIBSVM's second-order working-set selection. Returns `None` when the
 /// KKT gap is within tolerance (optimal).
 fn select_working_set(
-    k: &[Vec<f64>],
+    k: &GramMatrix,
     y: &[f64],
     c: &[f64],
     alpha: &[f64],
@@ -319,6 +335,8 @@ fn select_working_set(
     let i = i as usize;
 
     // j = argmin over violating t ∈ I_low of the second-order gain.
+    let ki = k.row(i);
+    let kii = ki[i];
     let mut gmax2 = f64::NEG_INFINITY; // max_{I_low} y_t G_t  (= −M(α))
     let mut j: isize = -1;
     let mut obj_min = f64::INFINITY;
@@ -339,7 +357,7 @@ fn select_working_set(
         if grad_diff > 0.0 {
             // Second-order curvature along the (i, t) direction is
             // ‖φ(x_i) − φ(x_t)‖² regardless of the label combination.
-            let mut quad = k[i][i] + k[t][t] - 2.0 * k[i][t];
+            let mut quad = kii + k.at(t, t) - 2.0 * ki[t];
             if quad <= 0.0 {
                 quad = params.tau;
             }
@@ -405,12 +423,12 @@ mod tests {
 
     /// Independent KKT verification for the solution of a C-SVC dual.
     /// Returns the maximum violation found.
-    fn kkt_violation<K: Kernel<Vec<f64>>>(
+    fn kkt_violation<K: Kernel<[f64]>>(
         samples: &[Vec<f64>],
         labels: &[f64],
         bounds: &[f64],
         kernel: &K,
-        trained: &TrainedSvm<Vec<f64>, K>,
+        trained: &TrainedSvm<[f64], K>,
     ) -> f64 {
         let mut worst: f64 = 0.0;
         // Dual feasibility: Σ α_i y_i = 0 and 0 ≤ α ≤ C.
@@ -454,9 +472,30 @@ mod tests {
         assert!((svm.alpha[0] - 0.5).abs() < 1e-6, "alpha {:?}", svm.alpha);
         assert!((svm.alpha[1] - 0.5).abs() < 1e-6);
         assert!(svm.model.bias().abs() < 1e-6);
-        assert!((svm.model.decision(&vec![1.0]) - 1.0).abs() < 1e-6);
-        assert!((svm.model.decision(&vec![-1.0]) + 1.0).abs() < 1e-6);
-        assert!((svm.model.decision(&vec![0.25]) - 0.25).abs() < 1e-6);
+        assert!((svm.model.decision(&[1.0]) - 1.0).abs() < 1e-6);
+        assert!((svm.model.decision(&[-1.0]) + 1.0).abs() < 1e-6);
+        assert!((svm.model.decision(&[0.25]) - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn training_over_borrowed_row_views_matches_owned() {
+        // The zero-copy contract: training on &[f64] views of one flat
+        // matrix produces exactly the training result over owned Vecs.
+        let flat: Vec<f64> = (0..20).map(|i| (i as f64 * 0.43).sin()).collect();
+        let owned: Vec<Vec<f64>> = flat.chunks(2).map(<[f64]>::to_vec).collect();
+        let views: Vec<&[f64]> = flat.chunks(2).collect();
+        let labels: Vec<f64> = (0..10)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let bounds = vec![5.0; 10];
+        let kernel = RbfKernel::new(0.9);
+        let a = train(&owned, &labels, &bounds, kernel, &default_params()).unwrap();
+        let b = train(&views, &labels, &bounds, kernel, &default_params()).unwrap();
+        assert_eq!(a.alpha, b.alpha);
+        assert_eq!(a.model.bias(), b.model.bias());
+        assert_eq!(a.model.support_vectors(), b.model.support_vectors());
+        let probe = [0.3, -0.3];
+        assert_eq!(a.model.decision(&probe), b.model.decision(&probe));
     }
 
     #[test]
@@ -466,8 +505,8 @@ mod tests {
         let labels = [-1.0, 1.0];
         let bounds = [50.0, 50.0];
         let svm = train(&samples, &labels, &bounds, LinearKernel, &default_params()).unwrap();
-        assert!((svm.model.decision(&vec![1.0])).abs() < 1e-6);
-        assert!((svm.model.decision(&vec![2.0]) - 1.0).abs() < 1e-6);
+        assert!((svm.model.decision(&[1.0])).abs() < 1e-6);
+        assert!((svm.model.decision(&[2.0]) - 1.0).abs() < 1e-6);
     }
 
     #[test]
@@ -487,8 +526,8 @@ mod tests {
         // The mislabeled point's alpha is capped at its tiny bound.
         assert!(svm.alpha[4] <= 1e-4 + 1e-12);
         // Classification of the clean points is unaffected.
-        assert!(svm.model.decision(&vec![1.5]) > 0.0);
-        assert!(svm.model.decision(&vec![-1.5]) < 0.0);
+        assert!(svm.model.decision(&[1.5]) > 0.0);
+        assert!(svm.model.decision(&[-1.5]) < 0.0);
     }
 
     #[test]
@@ -498,7 +537,7 @@ mod tests {
         let bounds = [1.0, 1.0];
         let svm = train(&samples, &labels, &bounds, LinearKernel, &default_params()).unwrap();
         assert_eq!(svm.model.kind(), crate::model::ModelKind::Constant);
-        assert_eq!(svm.model.decision(&vec![123.0]), 1.0);
+        assert_eq!(svm.model.decision(&[123.0]), 1.0);
         let svm_neg = train(
             &samples,
             &[-1.0, -1.0],
@@ -507,7 +546,7 @@ mod tests {
             &default_params(),
         )
         .unwrap();
-        assert_eq!(svm_neg.model.decision(&vec![123.0]), -1.0);
+        assert_eq!(svm_neg.model.decision(&[123.0]), -1.0);
     }
 
     #[test]

@@ -250,6 +250,18 @@ impl<T: Serialize + ?Sized> Serialize for Box<T> {
     }
 }
 
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(std::sync::Arc::new)
+    }
+}
+
 macro_rules! ser_de_tuple {
     ($(($($name:ident : $idx:tt),+))*) => {$(
         impl<$($name: Serialize),+> Serialize for ($($name,)+) {
@@ -339,6 +351,17 @@ mod tests {
             <(usize, usize)>::from_value(&pair.to_value()).unwrap(),
             pair
         );
+    }
+
+    #[test]
+    fn arc_roundtrips_transparently() {
+        // Arc serializes as its pointee (the shared feature matrices of the
+        // retrieval stack must persist identically to plain vectors).
+        let shared = std::sync::Arc::new(vec![1.0f64, -2.5]);
+        let tree = shared.to_value();
+        assert_eq!(tree, vec![1.0f64, -2.5].to_value());
+        let back = std::sync::Arc::<Vec<f64>>::from_value(&tree).unwrap();
+        assert_eq!(*back, *shared);
     }
 
     #[test]

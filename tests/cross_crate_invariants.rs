@@ -54,18 +54,20 @@ proptest! {
         let protocol = QueryProtocol { n_queries: 1, n_labeled: 8, seed: 0 };
         let example = protocol.feedback_example(&ds.db, query);
 
-        let labeled_x: Vec<Vec<f64>> =
-            example.labeled.iter().map(|&(id, _)| ds.db.feature(id).clone()).collect();
+        // Borrowed row views straight out of the database/log — the
+        // zero-copy shape every production scheme now feeds the trainer.
+        let labeled_x: Vec<&[f64]> =
+            example.labeled.iter().map(|&(id, _)| ds.db.feature(id)).collect();
         let labeled_r: Vec<_> =
-            example.labeled.iter().map(|&(id, _)| log.log_vector(id).clone()).collect();
+            example.labeled.iter().map(|&(id, _)| log.log_vector(id)).collect();
         let y: Vec<f64> = example.labeled.iter().map(|&(_, l)| l).collect();
         // Pool: the first n_pool images not in the labeled set.
         let in_labeled: std::collections::HashSet<usize> =
             example.labeled.iter().map(|&(id, _)| id).collect();
         let pool: Vec<usize> =
             (0..ds.db.len()).filter(|id| !in_labeled.contains(id)).take(n_pool).collect();
-        let unl_x: Vec<Vec<f64>> = pool.iter().map(|&id| ds.db.feature(id).clone()).collect();
-        let unl_r: Vec<_> = pool.iter().map(|&id| log.log_vector(id).clone()).collect();
+        let unl_x: Vec<&[f64]> = pool.iter().map(|&id| ds.db.feature(id)).collect();
+        let unl_r: Vec<_> = pool.iter().map(|&id| log.log_vector(id)).collect();
         let y_init: Vec<f64> =
             (0..pool.len()).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
 

@@ -152,6 +152,6 @@ fn facade_reexports_are_usable() {
     let edges = corelog::imaging::canny(&gray, corelog::imaging::CannyParams::default());
     assert_eq!(edges.width(), 16);
     let kernel = corelog::svm::RbfKernel::new(0.5);
-    let k = corelog::svm::Kernel::compute(&kernel, &vec![0.0], &vec![0.0]);
+    let k = corelog::svm::Kernel::compute(&kernel, &[0.0], &[0.0]);
     assert!((k - 1.0).abs() < 1e-12);
 }
