@@ -1,0 +1,135 @@
+//! Criterion bench: `lrf-service` under concurrent feedback sessions.
+//!
+//! Each measured unit runs `n` complete feedback loops (open → judge the
+//! screen → retrain/rerank → judge more → retrain/rerank → close, with the
+//! close flushing into the shared log) against **one** shared service —
+//! once sequentially on the driving thread, once with one thread per
+//! session over `std::thread::scope`. On one core the two are equivalent
+//! (the service adds only lock overhead); on a k-core runner the
+//! per-session retrains overlap and the concurrent path approaches k-fold
+//! throughput. `tools/bench_check.sh` gates CI on exactly that comparison.
+//!
+//! Set `BENCH_QUICK=1` for the CI smoke configuration (small corpus, few
+//! sessions).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lrf_cbir::{collect_log, CorelDataset, CorelSpec};
+use lrf_core::{LrfConfig, SchemeKind};
+use lrf_logdb::SimulationConfig;
+use lrf_service::{Request, Response, Service, ServiceConfig};
+use std::hint::black_box;
+
+fn quick() -> bool {
+    std::env::var("BENCH_QUICK").is_ok()
+}
+
+/// The shared corpus: database + initial feedback log. Each measured
+/// iteration serves a *fresh* service built from clones (the database
+/// clone is an `Arc` handle, the log clone is small), so the log every
+/// session trains on is identical across iterations and across the
+/// serial/concurrent comparison — otherwise the side measured second
+/// would pay for the log the first side flushed.
+fn build_corpus() -> (lrf_cbir::ImageDatabase, lrf_logdb::LogStore) {
+    let (categories, per_category) = if quick() { (4, 12) } else { (8, 40) };
+    let ds = CorelDataset::build(CorelSpec::tiny(categories, per_category, 19));
+    let log = collect_log(
+        &ds.db,
+        &SimulationConfig {
+            n_sessions: 30,
+            judged_per_session: 10,
+            rounds_per_query: 2,
+            noise: 0.1,
+            seed: 23,
+        },
+    );
+    (ds.db, log)
+}
+
+fn service_config() -> ServiceConfig {
+    ServiceConfig {
+        max_sessions: 256,
+        ttl_requests: 0,
+        screen_size: 10,
+        pool_size: 60,
+        lrf: LrfConfig {
+            n_unlabeled: 8,
+            ..LrfConfig::default()
+        },
+    }
+}
+
+/// One complete feedback loop; returns a ranking checksum so the optimizer
+/// cannot elide the work.
+fn run_session(svc: &Service, query: usize) -> usize {
+    // The paper's full algorithm — the heaviest per-round retrain, so the
+    // comparison measures overlapping real work, not thread bookkeeping.
+    let Response::Opened { session, screen } = svc.handle(Request::Open {
+        query,
+        scheme: SchemeKind::LrfCsvm,
+    }) else {
+        panic!("open failed")
+    };
+    for &id in &screen {
+        svc.handle(Request::Mark {
+            session,
+            image: id,
+            relevant: svc.db().same_category(id, query),
+        });
+    }
+    let Response::Reranked { page, .. } = svc.handle(Request::Rerank { session }) else {
+        panic!("rerank failed")
+    };
+    // Round 2: judge the previously unjudged part of the refined page.
+    for &id in &page {
+        let _ = svc.handle(Request::Mark {
+            session,
+            image: id,
+            relevant: svc.db().same_category(id, query),
+        });
+    }
+    let Response::Reranked { page, .. } = svc.handle(Request::Rerank { session }) else {
+        panic!("rerank failed")
+    };
+    let checksum: usize = page.iter().sum();
+    svc.handle(Request::Close { session });
+    checksum
+}
+
+fn bench_service_throughput(c: &mut Criterion) {
+    let (db, log) = build_corpus();
+    let session_counts: Vec<usize> = if quick() { vec![4] } else { vec![4, 8, 16] };
+    let n_images = db.len();
+    let mut group = c.benchmark_group("service_throughput");
+    group.sample_size(10);
+    for &n in &session_counts {
+        let queries: Vec<usize> = (0..n).map(|i| (i * 17 + 3) % n_images).collect();
+        group.bench_with_input(BenchmarkId::new("serial", n), &n, |b, _| {
+            b.iter(|| {
+                let svc = Service::new(db.clone(), log.clone(), service_config());
+                let total: usize = queries.iter().map(|&q| run_session(&svc, q)).sum();
+                black_box(total)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("concurrent", n), &n, |b, _| {
+            b.iter(|| {
+                let svc = Service::new(db.clone(), log.clone(), service_config());
+                let svc_ref = &svc;
+                let total: usize = std::thread::scope(|scope| {
+                    let handles: Vec<_> = queries
+                        .iter()
+                        .map(|&q| scope.spawn(move || run_session(svc_ref, q)))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("session thread panicked"))
+                        .sum()
+                });
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_service_throughput);
+criterion_main!(benches);

@@ -99,7 +99,7 @@ impl PrecisionCurve {
 
 /// One evaluation query's feedback round: the judged top-20 of the initial
 /// Euclidean retrieval, labeled automatically by ground truth (the paper
-/// "simulate[s] the relevance judgements that would have been made by
+/// "simulate\[s\] the relevance judgements that would have been made by
 /// users").
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct FeedbackExample {

@@ -1,6 +1,6 @@
 //! # lrf-cbir — the content-based image retrieval engine
 //!
-//! The substrate the paper's CBIR system ([10, 11] in its references)
+//! The substrate the paper's CBIR system (\[10, 11\] in its references)
 //! provides: an image database with extracted features, content-based
 //! ranking, the automatic evaluation protocol of §6.4, and the glue that
 //! collects simulated feedback logs over the database.

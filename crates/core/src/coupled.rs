@@ -20,7 +20,7 @@
 //!
 //! **Annealing.** `ρ*` starts at `10⁻⁴` so unlabeled points cannot dominate
 //! early, and doubles per outer round up to `ρ` — "similar to the approach
-//! in transductive SVM [Joachims]".
+//! in transductive SVM" (Joachims).
 
 use crate::config::CoupledConfig;
 use lrf_svm::{train, Kernel, SvmError, TrainedSvm};

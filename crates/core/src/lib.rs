@@ -29,6 +29,9 @@
 //!   candidate pool, the scheme re-ranks only the pool
 //!   ([`feedback::RelevanceFeedback::score_ids`]); with the exact flat
 //!   backend and a full pool this reproduces the paper's ranking exactly.
+//! * [`rounds`] — the serving path: [`rounds::FeedbackLoop`] turns the
+//!   one-shot schemes into resumable multi-round sessions (accumulated
+//!   judgments, typed errors, log-session flush) for `lrf-service`.
 //!
 //! ## Quickstart
 //!
@@ -65,6 +68,7 @@ pub mod lrf_csvm;
 pub mod multi;
 pub mod pooled;
 pub mod rf_svm;
+pub mod rounds;
 
 pub use active::RoundSelection;
 pub use config::{CoupledConfig, LrfConfig, PseudoLabelInit, UnlabeledSelection};
@@ -75,5 +79,6 @@ pub use kernels::{LogCosineRbfKernel, LogKernel, LogLinearKernel, LogRbfKernel};
 pub use log_collection::collect_feedback_log;
 pub use lrf_2svms::Lrf2Svms;
 pub use lrf_csvm::LrfCsvm;
-pub use pooled::PooledRetrieval;
+pub use pooled::{rank_candidates, PooledRetrieval};
 pub use rf_svm::RfSvm;
+pub use rounds::{FeedbackLoop, RoundError, SchemeKind};

@@ -4,7 +4,7 @@
 //! content-based screen, and then "employ the relevance feedback tool to
 //! improve the retrieval performance" — every refined round is logged as
 //! its own session. The refinement in the authors' system was their SVM
-//! relevance feedback ([10, 11] in the paper), i.e. the `RF-SVM` scheme.
+//! relevance feedback (\[10, 11\] in the paper), i.e. the `RF-SVM` scheme.
 //!
 //! This collector reproduces that loop:
 //!

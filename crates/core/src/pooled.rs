@@ -68,25 +68,37 @@ impl<'a> PooledRetrieval<'a> {
         scheme: &S,
         ctx: &QueryContext<'_>,
     ) -> Vec<usize> {
-        let pool = self.pool(ctx);
-        let mut head = match scheme.score_ids(ctx, &pool) {
-            Some(scores) => {
-                let mut order: Vec<usize> = (0..pool.len()).collect();
-                order.sort_by(|&a, &b| {
-                    crate::feedback::cmp_scores_desc(scores[a], scores[b])
-                        .then(pool[a].cmp(&pool[b]))
-                });
-                order.into_iter().map(|i| pool[i]).collect::<Vec<usize>>()
-            }
-            None => pool,
-        };
-        let mut in_head = vec![false; ctx.db.len()];
-        for &id in &head {
-            in_head[id] = true;
-        }
-        head.extend((0..ctx.db.len()).filter(|&id| !in_head[id]));
-        head
+        rank_candidates(scheme, ctx, &self.pool(ctx))
     }
+}
+
+/// Ranks an explicit candidate `pool` under `scheme` and appends every
+/// out-of-pool id in ascending order, yielding a full-database permutation.
+/// The shared re-rank step of [`PooledRetrieval`] and the stateful session
+/// API ([`crate::rounds::FeedbackLoop`]): both paths go through this one
+/// function, which is what makes their rankings bit-identical by
+/// construction.
+pub fn rank_candidates<S: RelevanceFeedback + ?Sized>(
+    scheme: &S,
+    ctx: &QueryContext<'_>,
+    pool: &[usize],
+) -> Vec<usize> {
+    let mut head = match scheme.score_ids(ctx, pool) {
+        Some(scores) => {
+            let mut order: Vec<usize> = (0..pool.len()).collect();
+            order.sort_by(|&a, &b| {
+                crate::feedback::cmp_scores_desc(scores[a], scores[b]).then(pool[a].cmp(&pool[b]))
+            });
+            order.into_iter().map(|i| pool[i]).collect::<Vec<usize>>()
+        }
+        None => pool.to_vec(),
+    };
+    let mut in_head = vec![false; ctx.db.len()];
+    for &id in &head {
+        in_head[id] = true;
+    }
+    head.extend((0..ctx.db.len()).filter(|&id| !in_head[id]));
+    head
 }
 
 #[cfg(test)]

@@ -1,0 +1,390 @@
+//! Resumable feedback rounds — the stateful API the serving plane drives.
+//!
+//! Every scheme in this crate is a pure function of one
+//! [`QueryContext`]: hand it a feedback round, get a ranking. That is the
+//! right shape for the evaluation protocol (build the round, rank, score)
+//! but the wrong shape for a live session, where judgments arrive one at a
+//! time over multiple rounds and each retrain must see *everything the user
+//! has said so far*. [`FeedbackLoop`] is the bridge: it accumulates
+//! judgments across rounds, validates them (typed errors, no panics — a
+//! service must survive bad input), re-derives the scheme's
+//! [`FeedbackExample`] on demand, and converts the finished session into a
+//! [`LogSession`] for the feedback log — closing the loop the paper
+//! describes, where today's sessions become tomorrow's log vectors.
+//!
+//! Determinism contract: a [`FeedbackLoop`] driven with a given sequence of
+//! `mark`/`rerank` calls produces bit-identical rankings to the one-shot
+//! path ([`crate::pooled::rank_candidates`] on the equivalent
+//! [`FeedbackExample`]) — the multi-session service asserts exactly this
+//! against its serial reference.
+
+use crate::config::LrfConfig;
+use crate::euclidean::EuclideanScheme;
+use crate::feedback::{QueryContext, RelevanceFeedback};
+use crate::lrf_2svms::Lrf2Svms;
+use crate::lrf_csvm::LrfCsvm;
+use crate::pooled::rank_candidates;
+use crate::rf_svm::RfSvm;
+use lrf_cbir::{FeedbackExample, ImageDatabase};
+use lrf_logdb::{LogSession, LogStore, Relevance};
+use serde::{Deserialize, Serialize};
+
+/// Which relevance-feedback scheme a session runs — the serializable
+/// selector the service API carries.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchemeKind {
+    /// No learning: content distance only (the initial ranking, frozen).
+    Euclidean,
+    /// Content-only SVM relevance feedback (Tong & Chang baseline).
+    RfSvm,
+    /// Independent content + log SVMs, decisions summed.
+    Lrf2Svms,
+    /// The paper's coupled SVM (Fig. 1).
+    #[default]
+    LrfCsvm,
+}
+
+impl SchemeKind {
+    /// The scheme's name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchemeKind::Euclidean => "Euclidean",
+            SchemeKind::RfSvm => "RF-SVM",
+            SchemeKind::Lrf2Svms => "LRF-2SVMs",
+            SchemeKind::LrfCsvm => "LRF-CSVM",
+        }
+    }
+
+    /// Instantiates the scheme object behind the shared trait.
+    pub fn build(self, config: LrfConfig) -> Box<dyn RelevanceFeedback + Send + Sync> {
+        match self {
+            SchemeKind::Euclidean => Box::new(EuclideanScheme),
+            SchemeKind::RfSvm => Box::new(RfSvm::new(config)),
+            SchemeKind::Lrf2Svms => Box::new(Lrf2Svms::new(config)),
+            SchemeKind::LrfCsvm => Box::new(LrfCsvm::new(config)),
+        }
+    }
+
+    /// All kinds, in comparison-table order.
+    pub fn all() -> [SchemeKind; 4] {
+        [
+            SchemeKind::Euclidean,
+            SchemeKind::RfSvm,
+            SchemeKind::Lrf2Svms,
+            SchemeKind::LrfCsvm,
+        ]
+    }
+}
+
+/// A rejected judgment — the session stays usable after any of these.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoundError {
+    /// The image id is outside the database.
+    UnknownImage {
+        /// The offending id.
+        image: usize,
+        /// Database size the session was opened over.
+        n_images: usize,
+    },
+    /// The image was already judged in this session (a session is one
+    /// user's screen history; re-judging indicates a client bug).
+    DuplicateJudgment {
+        /// The re-judged image id.
+        image: usize,
+    },
+}
+
+impl std::fmt::Display for RoundError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RoundError::UnknownImage { image, n_images } => {
+                write!(f, "image {image} outside database of {n_images}")
+            }
+            RoundError::DuplicateJudgment { image } => {
+                write!(f, "image {image} already judged in this session")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RoundError {}
+
+/// One user's resumable feedback session: accumulated judgments + the
+/// scheme that re-ranks on each round.
+pub struct FeedbackLoop {
+    kind: SchemeKind,
+    scheme: Box<dyn RelevanceFeedback + Send + Sync>,
+    query: usize,
+    n_images: usize,
+    /// `(image_id, ±1.0)` in mark order — the order the SMO solver sees,
+    /// so replaying the same marks reproduces the same model bit-for-bit.
+    labeled: Vec<(usize, f64)>,
+    rounds: usize,
+}
+
+impl FeedbackLoop {
+    /// Opens a session for `query` over a database of `n_images`.
+    ///
+    /// # Panics
+    /// Panics if `query >= n_images` (the caller resolves queries against
+    /// its own database; an unknown query is a caller bug, unlike the
+    /// user-supplied judgments which get typed errors).
+    pub fn new(kind: SchemeKind, config: LrfConfig, query: usize, n_images: usize) -> Self {
+        assert!(
+            query < n_images,
+            "query {query} outside database of {n_images}"
+        );
+        Self {
+            kind,
+            scheme: kind.build(config),
+            query,
+            n_images,
+            labeled: Vec::new(),
+            rounds: 0,
+        }
+    }
+
+    /// The session's query image id.
+    pub fn query(&self) -> usize {
+        self.query
+    }
+
+    /// The scheme this session runs.
+    pub fn kind(&self) -> SchemeKind {
+        self.kind
+    }
+
+    /// Completed retrain/re-rank rounds.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Number of accumulated judgments.
+    pub fn n_judged(&self) -> usize {
+        self.labeled.len()
+    }
+
+    /// The accumulated judgment for `image`, if any (`+1.0` / `−1.0`).
+    pub fn judgment(&self, image: usize) -> Option<f64> {
+        self.labeled
+            .iter()
+            .find(|&&(id, _)| id == image)
+            .map(|&(_, y)| y)
+    }
+
+    /// Records one judgment. Rejects out-of-range ids and re-judgments with
+    /// a typed error; the session state is unchanged on error.
+    pub fn mark(&mut self, image: usize, relevant: bool) -> Result<(), RoundError> {
+        if image >= self.n_images {
+            return Err(RoundError::UnknownImage {
+                image,
+                n_images: self.n_images,
+            });
+        }
+        if self.judgment(image).is_some() {
+            return Err(RoundError::DuplicateJudgment { image });
+        }
+        self.labeled
+            .push((image, if relevant { 1.0 } else { -1.0 }));
+        Ok(())
+    }
+
+    /// The scheme input equivalent to everything marked so far.
+    pub fn example(&self) -> FeedbackExample {
+        FeedbackExample {
+            query: self.query,
+            labeled: self.labeled.clone(),
+        }
+    }
+
+    /// Retrains on the accumulated judgments and ranks `pool` (candidate
+    /// ids from the retrieval front-end), returning a full-database
+    /// permutation: re-ranked pool first, out-of-pool ids trailing in id
+    /// order — exactly [`rank_candidates`] on [`Self::example`].
+    ///
+    /// # Panics
+    /// Panics if `db`/`log` don't cover the session's `n_images` or `pool`
+    /// holds an out-of-range id (infrastructure mismatch, not user input).
+    pub fn rerank(&mut self, db: &ImageDatabase, log: &LogStore, pool: &[usize]) -> Vec<usize> {
+        assert_eq!(db.len(), self.n_images, "database changed under session");
+        let example = self.example();
+        let ctx = QueryContext {
+            db,
+            log,
+            example: &example,
+        };
+        let ranking = rank_candidates(self.scheme.as_ref(), &ctx, pool);
+        self.rounds += 1;
+        ranking
+    }
+
+    /// The finished session as a feedback-log unit (empty if the user
+    /// judged nothing — callers typically skip flushing those).
+    pub fn to_log_session(&self) -> LogSession {
+        LogSession::new(
+            self.labeled
+                .iter()
+                .map(|&(id, y)| (id, Relevance::from_bool(y > 0.0)))
+                .collect(),
+        )
+    }
+}
+
+impl std::fmt::Debug for FeedbackLoop {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FeedbackLoop")
+            .field("kind", &self.kind)
+            .field("query", &self.query)
+            .field("n_judged", &self.labeled.len())
+            .field("rounds", &self.rounds)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pooled::PooledRetrieval;
+    use lrf_cbir::{collect_log, CorelDataset, CorelSpec, QueryProtocol};
+    use lrf_logdb::SimulationConfig;
+
+    fn setup() -> (CorelDataset, LogStore) {
+        let ds = CorelDataset::build(CorelSpec::tiny(4, 12, 19));
+        let log = collect_log(
+            &ds.db,
+            &SimulationConfig {
+                n_sessions: 24,
+                judged_per_session: 10,
+                rounds_per_query: 2,
+                noise: 0.1,
+                seed: 23,
+            },
+        );
+        (ds, log)
+    }
+
+    fn small_config() -> LrfConfig {
+        LrfConfig {
+            n_unlabeled: 8,
+            coupled: crate::config::CoupledConfig {
+                rho_init: 0.01,
+                rho: 0.05,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn scheme_kinds_build_and_name() {
+        for kind in SchemeKind::all() {
+            let scheme = kind.build(small_config());
+            assert_eq!(scheme.name(), kind.name());
+        }
+        assert_eq!(SchemeKind::default(), SchemeKind::LrfCsvm);
+    }
+
+    #[test]
+    fn loop_reproduces_the_one_shot_path_bit_for_bit() {
+        // The determinism contract: marking a protocol round's labels one
+        // by one, then reranking, equals the stateless pooled rank on the
+        // equivalent FeedbackExample.
+        let (ds, log) = setup();
+        let proto = QueryProtocol {
+            n_queries: 1,
+            n_labeled: 8,
+            seed: 0,
+        };
+        let index = lrf_cbir::build_flat_index(&ds.db);
+        let pooled = PooledRetrieval::new(&index, ds.db.len());
+        for kind in [SchemeKind::RfSvm, SchemeKind::LrfCsvm] {
+            let example = proto.feedback_example(&ds.db, 7);
+            let mut fb = FeedbackLoop::new(kind, small_config(), 7, ds.db.len());
+            for &(id, y) in &example.labeled {
+                fb.mark(id, y > 0.0).unwrap();
+            }
+            assert_eq!(fb.example(), example);
+            let ctx = QueryContext {
+                db: &ds.db,
+                log: &log,
+                example: &example,
+            };
+            let pool = pooled.pool(&ctx);
+            let stateful = fb.rerank(&ds.db, &log, &pool);
+            let scheme = kind.build(small_config());
+            let oneshot = rank_candidates(scheme.as_ref(), &ctx, &pool);
+            assert_eq!(stateful, oneshot, "{}", kind.name());
+            assert_eq!(fb.rounds(), 1);
+        }
+    }
+
+    #[test]
+    fn judgments_accumulate_across_rounds() {
+        let (ds, log) = setup();
+        let mut fb = FeedbackLoop::new(SchemeKind::RfSvm, small_config(), 0, ds.db.len());
+        fb.mark(0, true).unwrap();
+        fb.mark(1, false).unwrap();
+        let pool: Vec<usize> = (0..ds.db.len()).collect();
+        let _ = fb.rerank(&ds.db, &log, &pool);
+        // Round 2 marks more; the example now holds all four judgments in
+        // mark order.
+        fb.mark(2, true).unwrap();
+        fb.mark(3, false).unwrap();
+        let _ = fb.rerank(&ds.db, &log, &pool);
+        assert_eq!(fb.rounds(), 2);
+        assert_eq!(
+            fb.example().labeled,
+            vec![(0, 1.0), (1, -1.0), (2, 1.0), (3, -1.0)]
+        );
+    }
+
+    #[test]
+    fn invalid_judgments_get_typed_errors_and_leave_state_intact() {
+        let (ds, _) = setup();
+        let n = ds.db.len();
+        let mut fb = FeedbackLoop::new(SchemeKind::LrfCsvm, small_config(), 1, n);
+        fb.mark(4, true).unwrap();
+        assert_eq!(
+            fb.mark(n + 3, true),
+            Err(RoundError::UnknownImage {
+                image: n + 3,
+                n_images: n
+            })
+        );
+        assert_eq!(
+            fb.mark(4, false),
+            Err(RoundError::DuplicateJudgment { image: 4 })
+        );
+        assert_eq!(fb.n_judged(), 1);
+        assert_eq!(fb.judgment(4), Some(1.0));
+        // Errors render.
+        assert!(RoundError::DuplicateJudgment { image: 4 }
+            .to_string()
+            .contains("already judged"));
+    }
+
+    #[test]
+    fn finished_sessions_flush_as_log_sessions() {
+        let (ds, _) = setup();
+        let mut fb = FeedbackLoop::new(SchemeKind::RfSvm, small_config(), 2, ds.db.len());
+        fb.mark(2, true).unwrap();
+        fb.mark(9, false).unwrap();
+        fb.mark(5, true).unwrap();
+        let session = fb.to_log_session();
+        assert_eq!(session.len(), 3);
+        assert_eq!(session.judgment(2), Some(Relevance::Relevant));
+        assert_eq!(session.judgment(9), Some(Relevance::Irrelevant));
+        assert_eq!(session.n_relevant(), 2);
+        // Flushing closes the paper's loop: the session lands in a store
+        // and becomes a new dimension of every judged image's log vector.
+        let mut store = LogStore::new(ds.db.len());
+        let sid = store.record(session);
+        assert_eq!(store.entry(5, sid), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside database")]
+    fn unknown_query_is_a_caller_bug() {
+        let _ = FeedbackLoop::new(SchemeKind::Euclidean, small_config(), 10, 10);
+    }
+}

@@ -1,7 +1,7 @@
 //! Canny edge detection.
 //!
 //! The paper's edge feature is an 18-bin edge-direction histogram computed
-//! from "edge images" produced by "a Canny edge detector" ([16] in the
+//! from "edge images" produced by "a Canny edge detector" (\[16\] in the
 //! paper). This is the full classical pipeline:
 //!
 //! 1. Gaussian smoothing (`sigma`),

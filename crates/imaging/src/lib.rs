@@ -12,7 +12,7 @@
 //!   stands in for the COREL collection (see `DESIGN.md` §3 for why the
 //!   substitution preserves the relevant behaviour).
 //! * [`convolve`] — separable convolution, Gaussian blur, Sobel gradients.
-//! * [`canny`] — a full Canny edge detector (blur → gradient → non-maximum
+//! * [`mod@canny`] — a full Canny edge detector (blur → gradient → non-maximum
 //!   suppression → double-threshold hysteresis).
 //! * [`wavelet`] — 1-D/2-D Daubechies-4 discrete wavelet transform with
 //!   inverse, used both by texture features and by the test suite (perfect

@@ -23,14 +23,19 @@
 //!   with an injectable mislabel (noise) probability. See DESIGN.md §3.
 //! * [`persist`] — JSON round-tripping of the store (a real deployment
 //!   keeps its log database on disk).
+//! * [`shared`] — the concurrent wrapper: snapshot reads + `&self` appends
+//!   (copy-on-write), so a serving plane can flush completed sessions
+//!   without stalling queries that are training on the log.
 
 pub mod persist;
 pub mod session;
+pub mod shared;
 pub mod simulate;
 pub mod sparse;
 pub mod store;
 
 pub use session::{LogSession, Relevance};
+pub use shared::SharedLogStore;
 pub use simulate::{simulate_sessions, SimulationConfig};
 pub use sparse::SparseVector;
 pub use store::LogStore;

@@ -1,0 +1,274 @@
+//! The service wire format: serde-serializable requests, responses, and
+//! typed errors.
+//!
+//! The API is a plain enum pair so any transport — an HTTP handler, a
+//! message queue consumer, a CLI — can be bolted on by (de)serializing one
+//! value per exchange ([`crate::Service::handle_json`] does exactly that).
+//! Every failure mode is a [`ServiceError`] variant inside a normal
+//! [`Response::Error`]; the service never panics on client input.
+
+use lrf_core::{RoundError, SchemeKind};
+use serde::{Deserialize, Serialize};
+
+/// One client request to the feedback service.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Request {
+    /// Opens a feedback session: retrieve the initial content-based screen
+    /// for `query` and start a session running `scheme`.
+    Open {
+        /// Query image id.
+        query: usize,
+        /// Relevance-feedback scheme the session retrains with.
+        scheme: SchemeKind,
+    },
+    /// Records one relevance judgment in a session.
+    Mark {
+        /// Session id from [`Response::Opened`].
+        session: u64,
+        /// Judged image id.
+        image: usize,
+        /// The user's judgment.
+        relevant: bool,
+    },
+    /// Retrains on everything marked so far and re-ranks the session's
+    /// candidate pool.
+    Rerank {
+        /// Session id.
+        session: u64,
+    },
+    /// Reads a page of the session's current ranking (initial screen order
+    /// before the first rerank).
+    Page {
+        /// Session id.
+        session: u64,
+        /// Rank offset of the first id returned.
+        offset: usize,
+        /// Maximum ids returned (clamped to the ranking's tail).
+        count: usize,
+    },
+    /// Ends a session, flushing its judgments into the feedback log.
+    Close {
+        /// Session id.
+        session: u64,
+    },
+    /// Service-level counters.
+    Stats,
+}
+
+/// The service's answer to one [`Request`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Response {
+    /// A session is open; `screen` is the initial content-based top-k the
+    /// user judges first.
+    Opened {
+        /// The new session's id.
+        session: u64,
+        /// Initial screen (index-ranked nearest neighbors of the query).
+        screen: Vec<usize>,
+    },
+    /// A judgment was recorded.
+    Marked {
+        /// Session id.
+        session: u64,
+        /// Judgments accumulated so far in this session.
+        n_judged: usize,
+    },
+    /// The session retrained and re-ranked.
+    Reranked {
+        /// Session id.
+        session: u64,
+        /// Completed feedback rounds (1 after the first rerank).
+        round: usize,
+        /// The new top page (first `screen_size` ids of the ranking).
+        page: Vec<usize>,
+    },
+    /// A page of the current ranking.
+    Page {
+        /// Session id.
+        session: u64,
+        /// The requested ranking slice.
+        ids: Vec<usize>,
+    },
+    /// The session is closed.
+    Closed {
+        /// Session id.
+        session: u64,
+        /// Id of the flushed log session, or `None` if the user judged
+        /// nothing (nothing to flush).
+        log_session: Option<usize>,
+    },
+    /// Service counters.
+    Stats {
+        /// Sessions currently resident.
+        active_sessions: usize,
+        /// Sessions accumulated in the feedback log.
+        log_sessions: usize,
+        /// Database size.
+        n_images: usize,
+        /// Sessions flushed into the log by this service instance (closes
+        /// and evictions with at least one judgment).
+        flushed_sessions: usize,
+    },
+    /// The request failed; the session (if any) is otherwise unaffected.
+    Error {
+        /// What went wrong.
+        error: ServiceError,
+    },
+}
+
+impl Response {
+    /// Wraps an error.
+    pub fn err(error: ServiceError) -> Self {
+        Response::Error { error }
+    }
+}
+
+/// Every way a request can fail.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServiceError {
+    /// The session id was never issued by this service.
+    UnknownSession {
+        /// The offending id.
+        session: u64,
+    },
+    /// The session existed but was closed or evicted (LRU capacity or idle
+    /// TTL) — the client must open a new one.
+    SessionExpired {
+        /// The expired id.
+        session: u64,
+    },
+    /// The query image id is outside the database.
+    UnknownQuery {
+        /// The offending query id.
+        query: usize,
+        /// Database size.
+        n_images: usize,
+    },
+    /// The judged image id is outside the database.
+    UnknownImage {
+        /// The offending image id.
+        image: usize,
+        /// Database size.
+        n_images: usize,
+    },
+    /// The image was already judged in this session.
+    DuplicateJudgment {
+        /// The re-judged image id.
+        image: usize,
+    },
+    /// The request could not be parsed (JSON transport only).
+    BadRequest {
+        /// Parser message.
+        reason: String,
+    },
+}
+
+impl From<RoundError> for ServiceError {
+    fn from(e: RoundError) -> Self {
+        match e {
+            RoundError::UnknownImage { image, n_images } => {
+                ServiceError::UnknownImage { image, n_images }
+            }
+            RoundError::DuplicateJudgment { image } => ServiceError::DuplicateJudgment { image },
+        }
+    }
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::UnknownSession { session } => write!(f, "unknown session {session}"),
+            ServiceError::SessionExpired { session } => {
+                write!(f, "session {session} was closed or evicted")
+            }
+            ServiceError::UnknownQuery { query, n_images } => {
+                write!(f, "query {query} outside database of {n_images}")
+            }
+            ServiceError::UnknownImage { image, n_images } => {
+                write!(f, "image {image} outside database of {n_images}")
+            }
+            ServiceError::DuplicateJudgment { image } => {
+                write!(f, "image {image} already judged in this session")
+            }
+            ServiceError::BadRequest { reason } => write!(f, "bad request: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_roundtrip_through_json() {
+        let reqs = vec![
+            Request::Open {
+                query: 3,
+                scheme: SchemeKind::LrfCsvm,
+            },
+            Request::Mark {
+                session: 7,
+                image: 41,
+                relevant: true,
+            },
+            Request::Rerank { session: 7 },
+            Request::Page {
+                session: 7,
+                offset: 20,
+                count: 10,
+            },
+            Request::Close { session: 7 },
+            Request::Stats,
+        ];
+        for req in reqs {
+            let json = serde_json::to_string(&req).unwrap();
+            let back: Request = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, req, "{json}");
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip_through_json() {
+        let resps = vec![
+            Response::Opened {
+                session: 1,
+                screen: vec![5, 2, 9],
+            },
+            Response::Closed {
+                session: 1,
+                log_session: Some(12),
+            },
+            Response::Closed {
+                session: 2,
+                log_session: None,
+            },
+            Response::err(ServiceError::SessionExpired { session: 4 }),
+            Response::Stats {
+                active_sessions: 2,
+                log_sessions: 150,
+                n_images: 2000,
+                flushed_sessions: 9,
+            },
+        ];
+        for resp in resps {
+            let json = serde_json::to_string(&resp).unwrap();
+            let back: Response = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, resp, "{json}");
+        }
+    }
+
+    #[test]
+    fn errors_display_and_convert() {
+        let e: ServiceError = RoundError::DuplicateJudgment { image: 4 }.into();
+        assert_eq!(e, ServiceError::DuplicateJudgment { image: 4 });
+        assert!(e.to_string().contains("already judged"));
+        let e: ServiceError = RoundError::UnknownImage {
+            image: 99,
+            n_images: 10,
+        }
+        .into();
+        assert!(e.to_string().contains("outside database"));
+    }
+}

@@ -1,0 +1,68 @@
+//! # lrf-service — the concurrent multi-session serving plane
+//!
+//! The paper's coupled-SVM scheme pays off when **many users** run feedback
+//! sessions against **one shared database** and their sessions accumulate
+//! into the log that future queries train on. This crate is that serving
+//! plane, built on the zero-copy data plane underneath it:
+//!
+//! * one `Arc`-shared [`lrf_cbir::ImageDatabase`] + [`lrf_index::AnnIndex`]
+//!   (the index shares the database's feature allocation via
+//!   `build_shared` — the collection's features exist once in memory, no
+//!   matter how many sessions are live);
+//! * a [`lrf_logdb::SharedLogStore`]: sessions train on frozen log
+//!   snapshots while completed sessions append concurrently (copy-on-write
+//!   — a flush can never stall a query);
+//! * a [`SessionManager`]: each session is a resumable
+//!   [`lrf_core::FeedbackLoop`] behind its own lock, with LRU capacity
+//!   eviction and an idle TTL, both deterministic against a logical clock;
+//! * a synchronous, serde-serializable [`Request`]/[`Response`] API
+//!   ([`Service::handle`], or [`Service::handle_json`] for a string
+//!   transport) so a network listener can be bolted on without touching
+//!   the engine.
+//!
+//! ## Session lifecycle
+//!
+//! ```text
+//! Open ──▶ initial screen (index top-k, content only)
+//!   │  Mark*      (judgments accumulate; typed errors, never panics)
+//!   │  Rerank     (retrain scheme on all judgments, re-rank candidate
+//!   │              pool — bit-identical to the one-shot pooled path)
+//!   │  Page*      (read slices of the current ranking)
+//!   ▼
+//! Close / evict ──▶ judgments flush into the shared log
+//!                    └──▶ future sessions' log vectors (the paper's loop)
+//! ```
+//!
+//! ## Example
+//!
+//! ```
+//! use lrf_cbir::{collect_log, CorelDataset, CorelSpec};
+//! use lrf_core::SchemeKind;
+//! use lrf_logdb::SimulationConfig;
+//! use lrf_service::{Request, Response, Service, ServiceConfig};
+//!
+//! let ds = CorelDataset::build(CorelSpec::tiny(3, 8, 7));
+//! let log = collect_log(&ds.db, &SimulationConfig {
+//!     n_sessions: 10, judged_per_session: 6, rounds_per_query: 2, noise: 0.1, seed: 1,
+//! });
+//! let svc = Service::new(ds.db, log, ServiceConfig::default());
+//!
+//! let Response::Opened { session, screen } =
+//!     svc.handle(Request::Open { query: 0, scheme: SchemeKind::LrfCsvm })
+//! else { unreachable!() };
+//! for &id in &screen[..4] {
+//!     svc.handle(Request::Mark { session, image: id, relevant: svc.db().same_category(id, 0) });
+//! }
+//! let Response::Reranked { page, .. } = svc.handle(Request::Rerank { session })
+//! else { unreachable!() };
+//! assert!(!page.is_empty());
+//! svc.handle(Request::Close { session });
+//! ```
+
+pub mod api;
+pub mod manager;
+pub mod service;
+
+pub use api::{Request, Response, ServiceError};
+pub use manager::{EvictReason, Evicted, SessionGone, SessionManager};
+pub use service::{Service, ServiceConfig};

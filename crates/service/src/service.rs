@@ -1,0 +1,736 @@
+//! The serving engine: one shared database + index + log, many sessions.
+//!
+//! ## Concurrency architecture
+//!
+//! ```text
+//!                  ┌────────────────────────────────────────────┐
+//!                  │ Service (Sync — share &Service across      │
+//!                  │          threads / a thread pool)          │
+//!                  │                                            │
+//!   Request ──────▶│  Mutex<SessionManager>   (table ops only:  │
+//!                  │        │                  O(1) lookup,     │
+//!                  │        │                  bounded sweeps)  │
+//!                  │        ▼                                   │
+//!                  │  Arc<Mutex<SessionState>> (per session:    │
+//!                  │        │                   retrain runs    │
+//!                  │        │                   here, parallel  │
+//!                  │        ▼                   across sessions)│
+//!                  │  Arc<ImageDatabase> ── Arc-shared flat     │
+//!                  │  Box<dyn AnnIndex>  ── matrix (one copy)   │
+//!                  │  SharedLogStore     ── snapshot reads,     │
+//!                  │                        COW appends         │
+//!                  └────────────────────────────────────────────┘
+//! ```
+//!
+//! The global lock covers only the session table; all learning runs under
+//! per-session locks against an immutable database/index and a frozen log
+//! snapshot, so N sessions retrain genuinely in parallel. Closing (or
+//! evicting) a session appends it to the shared log through the
+//! copy-on-write store — queries in flight keep their snapshot and are
+//! never stalled — which is how today's sessions become the log vectors
+//! tomorrow's coupled-SVM queries train on.
+
+use crate::api::{Request, Response, ServiceError};
+use crate::manager::{Evicted, SessionGone, SessionManager};
+use lrf_cbir::{build_flat_index, rank_with_index, ImageDatabase};
+use lrf_core::{FeedbackLoop, LrfConfig, PooledRetrieval, QueryContext, SchemeKind};
+use lrf_index::AnnIndex;
+use lrf_logdb::{LogStore, SharedLogStore};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Service tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Maximum resident sessions; the least-recently-used session is
+    /// evicted (and flushed) beyond this.
+    pub max_sessions: usize,
+    /// Idle TTL in logical-clock ticks (every handled request ticks at
+    /// least once): a session untouched for this long is expired on a
+    /// later request's sweep. `0` disables the TTL.
+    pub ttl_requests: u64,
+    /// Images per screen/page (the paper's `N_l`, 20 in its protocol).
+    pub screen_size: usize,
+    /// Candidate-pool size for the rerank step (see
+    /// [`lrf_core::PooledRetrieval`]).
+    pub pool_size: usize,
+    /// Learning configuration shared by every session's scheme.
+    pub lrf: LrfConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            max_sessions: 1024,
+            ttl_requests: 4096,
+            screen_size: 20,
+            pool_size: 200,
+            lrf: LrfConfig::default(),
+        }
+    }
+}
+
+/// One resident session: the resumable feedback loop plus the ranking its
+/// pages are served from.
+struct SessionState {
+    fb: FeedbackLoop,
+    /// Current full-database ranking (initial content ranking until the
+    /// first rerank).
+    ranking: Vec<usize>,
+    /// Tombstone, set under this state's lock when the session is flushed
+    /// (close or eviction). A request that looked the session up *before*
+    /// it was removed from the manager may still be waiting on the state
+    /// lock; without the tombstone it would mutate the detached state and
+    /// acknowledge a judgment that never reaches the log. With it, every
+    /// interleaving is consistent: an operation either fully precedes the
+    /// flush (its judgments are flushed) or observes `SessionExpired`.
+    closed: bool,
+}
+
+/// The thread-safe multi-session feedback service.
+pub struct Service {
+    db: Arc<ImageDatabase>,
+    index: Box<dyn AnnIndex>,
+    log: SharedLogStore,
+    sessions: Mutex<SessionManager<SessionState>>,
+    flushed: AtomicUsize,
+    config: ServiceConfig,
+}
+
+impl Service {
+    /// Builds a service over `db` with the exact flat index (shares the
+    /// database's feature allocation — no copy).
+    pub fn new(db: ImageDatabase, log: LogStore, config: ServiceConfig) -> Self {
+        let index: Box<dyn AnnIndex> = Box::new(build_flat_index(&db));
+        Self::with_index(db, index, log, config)
+    }
+
+    /// Builds a service with an explicit (possibly approximate) index.
+    ///
+    /// # Panics
+    /// Panics if the index or log does not cover `db`, or on nonsensical
+    /// config (zero screen/pool size or session capacity).
+    pub fn with_index(
+        db: ImageDatabase,
+        index: Box<dyn AnnIndex>,
+        log: LogStore,
+        config: ServiceConfig,
+    ) -> Self {
+        assert_eq!(index.len(), db.len(), "index does not cover the database");
+        assert_eq!(
+            log.n_images(),
+            db.len(),
+            "log store does not cover the database"
+        );
+        assert!(config.screen_size > 0, "screen size must be positive");
+        assert!(config.pool_size > 0, "pool size must be positive");
+        let sessions = Mutex::new(SessionManager::new(
+            config.max_sessions,
+            config.ttl_requests,
+        ));
+        Self {
+            db: Arc::new(db),
+            index,
+            log: SharedLogStore::from_store(log),
+            sessions,
+            flushed: AtomicUsize::new(0),
+            config,
+        }
+    }
+
+    /// The shared database.
+    pub fn db(&self) -> &ImageDatabase {
+        &self.db
+    }
+
+    /// Sessions accumulated in the feedback log so far.
+    pub fn log_sessions(&self) -> usize {
+        self.log.n_sessions()
+    }
+
+    /// Shuts the service down, returning the accumulated log for
+    /// persistence. Resident sessions are flushed first (in id order, so
+    /// the resulting log is deterministic).
+    pub fn into_log(self) -> LogStore {
+        let drained = self.sessions.lock().expect("session lock poisoned").drain();
+        for (_, payload) in drained {
+            let _ = self.flush(&payload);
+        }
+        self.log.into_store()
+    }
+
+    /// Handles one request. Thread-safe: call from any number of threads.
+    pub fn handle(&self, request: Request) -> Response {
+        // Expire idle sessions first so a session can never be observed
+        // past its TTL; their judgments are salvaged into the log.
+        let expired = self.sessions.lock().expect("session lock poisoned").sweep();
+        self.flush_evicted(expired);
+
+        match request {
+            Request::Open { query, scheme } => self.open(query, scheme),
+            Request::Mark {
+                session,
+                image,
+                relevant,
+            } => self.mark(session, image, relevant),
+            Request::Rerank { session } => self.rerank(session),
+            Request::Page {
+                session,
+                offset,
+                count,
+            } => self.page(session, offset, count),
+            Request::Close { session } => self.close(session),
+            Request::Stats => self.stats(),
+        }
+    }
+
+    /// JSON transport: parses a [`Request`], handles it, renders the
+    /// [`Response`] — the whole surface a network listener needs.
+    pub fn handle_json(&self, request_json: &str) -> String {
+        let response = match serde_json::from_str::<Request>(request_json) {
+            Ok(request) => self.handle(request),
+            Err(e) => Response::err(ServiceError::BadRequest {
+                reason: e.to_string(),
+            }),
+        };
+        serde_json::to_string(&response).expect("responses always serialize")
+    }
+
+    fn open(&self, query: usize, scheme: SchemeKind) -> Response {
+        if query >= self.db.len() {
+            return Response::err(ServiceError::UnknownQuery {
+                query,
+                n_images: self.db.len(),
+            });
+        }
+        let fb = FeedbackLoop::new(scheme, self.config.lrf, query, self.db.len());
+        // The initial ranking is the content-based index ranking — exactly
+        // what the paper's users judged first.
+        let ranking = rank_with_index(&self.db, self.index.as_ref(), self.db.feature(query));
+        let screen = ranking[..self.config.screen_size.min(ranking.len())].to_vec();
+        let (session, evicted) =
+            self.sessions
+                .lock()
+                .expect("session lock poisoned")
+                .insert(SessionState {
+                    fb,
+                    ranking,
+                    closed: false,
+                });
+        self.flush_evicted(evicted);
+        Response::Opened { session, screen }
+    }
+
+    fn mark(&self, session: u64, image: usize, relevant: bool) -> Response {
+        let state = match self.lookup(session) {
+            Ok(state) => state,
+            Err(e) => return Response::err(e),
+        };
+        let mut state = state.lock().expect("session lock poisoned");
+        if state.closed {
+            return Response::err(ServiceError::SessionExpired { session });
+        }
+        match state.fb.mark(image, relevant) {
+            Ok(()) => Response::Marked {
+                session,
+                n_judged: state.fb.n_judged(),
+            },
+            Err(e) => Response::err(e.into()),
+        }
+    }
+
+    fn rerank(&self, session: u64) -> Response {
+        let state = match self.lookup(session) {
+            Ok(state) => state,
+            Err(e) => return Response::err(e),
+        };
+        // The global lock is already released: the retrain below runs
+        // under this session's lock only, concurrently with other
+        // sessions' retrains.
+        let mut state = state.lock().expect("session lock poisoned");
+        if state.closed {
+            return Response::err(ServiceError::SessionExpired { session });
+        }
+        let snapshot = self.log.snapshot();
+        let example = state.fb.example();
+        let ctx = QueryContext {
+            db: &self.db,
+            log: &snapshot,
+            example: &example,
+        };
+        let pool = PooledRetrieval::new(self.index.as_ref(), self.config.pool_size).pool(&ctx);
+        state.ranking = state.fb.rerank(&self.db, &snapshot, &pool);
+        let page = state.ranking[..self.config.screen_size.min(state.ranking.len())].to_vec();
+        Response::Reranked {
+            session,
+            round: state.fb.rounds(),
+            page,
+        }
+    }
+
+    fn page(&self, session: u64, offset: usize, count: usize) -> Response {
+        let state = match self.lookup(session) {
+            Ok(state) => state,
+            Err(e) => return Response::err(e),
+        };
+        let state = state.lock().expect("session lock poisoned");
+        if state.closed {
+            return Response::err(ServiceError::SessionExpired { session });
+        }
+        let start = offset.min(state.ranking.len());
+        let end = offset.saturating_add(count).min(state.ranking.len());
+        Response::Page {
+            session,
+            ids: state.ranking[start..end].to_vec(),
+        }
+    }
+
+    fn close(&self, session: u64) -> Response {
+        let removed = self
+            .sessions
+            .lock()
+            .expect("session lock poisoned")
+            .remove(session);
+        match removed {
+            Ok(payload) => {
+                let log_session = self.flush(&payload);
+                Response::Closed {
+                    session,
+                    log_session,
+                }
+            }
+            Err(gone) => Response::err(Self::gone_error(session, gone)),
+        }
+    }
+
+    fn stats(&self) -> Response {
+        Response::Stats {
+            active_sessions: self.sessions.lock().expect("session lock poisoned").len(),
+            log_sessions: self.log.n_sessions(),
+            n_images: self.db.len(),
+            flushed_sessions: self.flushed.load(Ordering::Relaxed),
+        }
+    }
+
+    fn lookup(&self, session: u64) -> Result<Arc<Mutex<SessionState>>, ServiceError> {
+        self.sessions
+            .lock()
+            .expect("session lock poisoned")
+            .get(session)
+            .map_err(|gone| Self::gone_error(session, gone))
+    }
+
+    fn gone_error(session: u64, gone: SessionGone) -> ServiceError {
+        match gone {
+            SessionGone::Expired => ServiceError::SessionExpired { session },
+            SessionGone::NeverExisted => ServiceError::UnknownSession { session },
+        }
+    }
+
+    /// Flushes one session's judgments into the shared log and tombstones
+    /// the state; returns the new log-session id (empty sessions flush
+    /// nothing). Idempotent: a state can be flushed at most once, and a
+    /// request that raced the removal and is still holding the `Arc`
+    /// observes the tombstone instead of mutating a detached session.
+    fn flush(&self, payload: &Arc<Mutex<SessionState>>) -> Option<usize> {
+        let mut state = payload.lock().expect("session lock poisoned");
+        if state.closed {
+            return None;
+        }
+        state.closed = true;
+        let session = state.fb.to_log_session();
+        if session.is_empty() {
+            return None;
+        }
+        let id = self.log.record(session);
+        self.flushed.fetch_add(1, Ordering::Relaxed);
+        Some(id)
+    }
+
+    fn flush_evicted(&self, evicted: Vec<Evicted<SessionState>>) {
+        for e in evicted {
+            let _ = self.flush(&e.payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrf_cbir::{collect_log, CorelDataset, CorelSpec};
+    use lrf_logdb::SimulationConfig;
+
+    fn dataset() -> (CorelDataset, LogStore) {
+        let ds = CorelDataset::build(CorelSpec::tiny(4, 12, 19));
+        let log = collect_log(
+            &ds.db,
+            &SimulationConfig {
+                n_sessions: 20,
+                judged_per_session: 8,
+                rounds_per_query: 2,
+                noise: 0.1,
+                seed: 23,
+            },
+        );
+        (ds, log)
+    }
+
+    fn config() -> ServiceConfig {
+        ServiceConfig {
+            max_sessions: 8,
+            ttl_requests: 0,
+            screen_size: 6,
+            pool_size: 24,
+            lrf: LrfConfig {
+                n_unlabeled: 8,
+                ..LrfConfig::default()
+            },
+        }
+    }
+
+    fn service() -> Service {
+        let (ds, log) = dataset();
+        Service::new(ds.db, log, config())
+    }
+
+    #[test]
+    fn full_session_lifecycle() {
+        let svc = service();
+        let logged_before = svc.log_sessions();
+        let Response::Opened { session, screen } = svc.handle(Request::Open {
+            query: 5,
+            scheme: SchemeKind::LrfCsvm,
+        }) else {
+            panic!("open failed")
+        };
+        assert_eq!(screen.len(), 6);
+        assert_eq!(screen[0], 5, "query ranks first in its own screen");
+
+        // Judge the whole screen by ground truth.
+        for &id in &screen {
+            let resp = svc.handle(Request::Mark {
+                session,
+                image: id,
+                relevant: svc.db().same_category(id, 5),
+            });
+            assert!(matches!(resp, Response::Marked { .. }), "{resp:?}");
+        }
+
+        let Response::Reranked { round, page, .. } = svc.handle(Request::Rerank { session }) else {
+            panic!("rerank failed")
+        };
+        assert_eq!(round, 1);
+        assert_eq!(page.len(), 6);
+
+        // Pages are slices of one consistent ranking.
+        let Response::Page { ids, .. } = svc.handle(Request::Page {
+            session,
+            offset: 0,
+            count: 6,
+        }) else {
+            panic!("page failed")
+        };
+        assert_eq!(ids, page);
+
+        let Response::Closed {
+            log_session: Some(id),
+            ..
+        } = svc.handle(Request::Close { session })
+        else {
+            panic!("close failed")
+        };
+        assert_eq!(id, logged_before);
+        assert_eq!(svc.log_sessions(), logged_before + 1);
+
+        // The session is gone now — typed error, not a panic.
+        let resp = svc.handle(Request::Rerank { session });
+        assert_eq!(
+            resp,
+            Response::err(ServiceError::SessionExpired { session })
+        );
+    }
+
+    #[test]
+    fn page_clamps_to_the_ranking_tail() {
+        let svc = service();
+        let Response::Opened { session, .. } = svc.handle(Request::Open {
+            query: 0,
+            scheme: SchemeKind::Euclidean,
+        }) else {
+            panic!("open failed")
+        };
+        let n = svc.db().len();
+        let Response::Page { ids, .. } = svc.handle(Request::Page {
+            session,
+            offset: n - 2,
+            count: 100,
+        }) else {
+            panic!("page failed")
+        };
+        assert_eq!(ids.len(), 2);
+        let Response::Page { ids, .. } = svc.handle(Request::Page {
+            session,
+            offset: n + 50,
+            count: 3,
+        }) else {
+            panic!("page failed")
+        };
+        assert!(ids.is_empty());
+    }
+
+    #[test]
+    fn errors_are_typed_for_every_failure_mode() {
+        let svc = service();
+        let n = svc.db().len();
+        // Unknown query.
+        assert_eq!(
+            svc.handle(Request::Open {
+                query: n,
+                scheme: SchemeKind::RfSvm
+            }),
+            Response::err(ServiceError::UnknownQuery {
+                query: n,
+                n_images: n
+            })
+        );
+        // Never-issued session id.
+        assert_eq!(
+            svc.handle(Request::Mark {
+                session: 99,
+                image: 0,
+                relevant: true
+            }),
+            Response::err(ServiceError::UnknownSession { session: 99 })
+        );
+        // Bad judgments on a live session.
+        let Response::Opened { session, .. } = svc.handle(Request::Open {
+            query: 1,
+            scheme: SchemeKind::RfSvm,
+        }) else {
+            panic!("open failed")
+        };
+        svc.handle(Request::Mark {
+            session,
+            image: 4,
+            relevant: true,
+        });
+        assert_eq!(
+            svc.handle(Request::Mark {
+                session,
+                image: 4,
+                relevant: false
+            }),
+            Response::err(ServiceError::DuplicateJudgment { image: 4 })
+        );
+        assert_eq!(
+            svc.handle(Request::Mark {
+                session,
+                image: n + 7,
+                relevant: true
+            }),
+            Response::err(ServiceError::UnknownImage {
+                image: n + 7,
+                n_images: n
+            })
+        );
+    }
+
+    #[test]
+    fn lru_eviction_flushes_judged_sessions_into_the_log() {
+        let (ds, log) = dataset();
+        let logged_before = log.n_sessions();
+        let svc = Service::new(
+            ds.db,
+            log,
+            ServiceConfig {
+                max_sessions: 2,
+                ..config()
+            },
+        );
+        // Open session A and give it one judgment.
+        let Response::Opened { session: a, .. } = svc.handle(Request::Open {
+            query: 0,
+            scheme: SchemeKind::RfSvm,
+        }) else {
+            panic!("open failed")
+        };
+        svc.handle(Request::Mark {
+            session: a,
+            image: 0,
+            relevant: true,
+        });
+        // Fill capacity and push A out (B, C newer).
+        let Response::Opened { session: b, .. } = svc.handle(Request::Open {
+            query: 1,
+            scheme: SchemeKind::RfSvm,
+        }) else {
+            panic!("open failed")
+        };
+        let Response::Opened { session: c, .. } = svc.handle(Request::Open {
+            query: 2,
+            scheme: SchemeKind::RfSvm,
+        }) else {
+            panic!("open failed")
+        };
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        // A is gone and its judgment landed in the log.
+        assert_eq!(
+            svc.handle(Request::Rerank { session: a }),
+            Response::err(ServiceError::SessionExpired { session: a })
+        );
+        assert_eq!(svc.log_sessions(), logged_before + 1);
+        // B never judged anything: when evicted, nothing is flushed.
+        let Response::Opened { .. } = svc.handle(Request::Open {
+            query: 3,
+            scheme: SchemeKind::RfSvm,
+        }) else {
+            panic!("open failed")
+        };
+        assert_eq!(svc.log_sessions(), logged_before + 1);
+    }
+
+    #[test]
+    fn ttl_expires_idle_sessions() {
+        let (ds, log) = dataset();
+        let svc = Service::new(
+            ds.db,
+            log,
+            ServiceConfig {
+                ttl_requests: 3,
+                ..config()
+            },
+        );
+        let Response::Opened { session: idle, .. } = svc.handle(Request::Open {
+            query: 0,
+            scheme: SchemeKind::Euclidean,
+        }) else {
+            panic!("open failed")
+        };
+        let Response::Opened { session: busy, .. } = svc.handle(Request::Open {
+            query: 1,
+            scheme: SchemeKind::Euclidean,
+        }) else {
+            panic!("open failed")
+        };
+        // Keep `busy` alive past the TTL; `idle` never gets touched.
+        for _ in 0..5 {
+            let resp = svc.handle(Request::Page {
+                session: busy,
+                offset: 0,
+                count: 1,
+            });
+            assert!(matches!(resp, Response::Page { .. }), "{resp:?}");
+        }
+        assert_eq!(
+            svc.handle(Request::Page {
+                session: idle,
+                offset: 0,
+                count: 1
+            }),
+            Response::err(ServiceError::SessionExpired { session: idle })
+        );
+        // The busy one survived the sweep that killed the idle one.
+        assert!(matches!(
+            svc.handle(Request::Page {
+                session: busy,
+                offset: 0,
+                count: 1
+            }),
+            Response::Page { .. }
+        ));
+    }
+
+    #[test]
+    fn json_transport_roundtrips_and_rejects_garbage() {
+        let svc = service();
+        let resp = svc.handle_json(r#"{"Open": {"query": 2, "scheme": "RfSvm"}}"#);
+        let parsed: Response = serde_json::from_str(&resp).unwrap();
+        assert!(matches!(parsed, Response::Opened { .. }), "{resp}");
+        let resp = svc.handle_json("not json at all");
+        let parsed: Response = serde_json::from_str(&resp).unwrap();
+        assert!(
+            matches!(
+                parsed,
+                Response::Error {
+                    error: ServiceError::BadRequest { .. }
+                }
+            ),
+            "{resp}"
+        );
+    }
+
+    #[test]
+    fn into_log_drains_resident_sessions() {
+        let svc = service();
+        let logged_before = svc.log_sessions();
+        let Response::Opened { session, .. } = svc.handle(Request::Open {
+            query: 2,
+            scheme: SchemeKind::RfSvm,
+        }) else {
+            panic!("open failed")
+        };
+        svc.handle(Request::Mark {
+            session,
+            image: 2,
+            relevant: true,
+        });
+        let log = svc.into_log();
+        assert_eq!(log.n_sessions(), logged_before + 1);
+    }
+
+    #[test]
+    fn requests_racing_a_close_observe_the_tombstone() {
+        // A request thread can hold a session's Arc (from lookup) while
+        // another thread closes the session and flushes it. The flush
+        // tombstones the state under its lock, so the racer must see
+        // SessionExpired instead of mutating a detached session whose
+        // judgment would silently miss the log.
+        let svc = service();
+        let Response::Opened { session, .. } = svc.handle(Request::Open {
+            query: 3,
+            scheme: SchemeKind::RfSvm,
+        }) else {
+            panic!("open failed")
+        };
+        svc.handle(Request::Mark {
+            session,
+            image: 3,
+            relevant: true,
+        });
+        // Simulate the in-flight request: resolve the payload before the
+        // close removes it from the manager.
+        let payload = svc.lookup(session).expect("session is live");
+        let Response::Closed {
+            log_session: Some(_),
+            ..
+        } = svc.handle(Request::Close { session })
+        else {
+            panic!("close failed")
+        };
+        assert!(payload.lock().unwrap().closed, "flush must tombstone");
+        // Re-flushing the detached payload is a no-op (no double log
+        // entry), which is what makes racing evict/close paths safe.
+        let logged = svc.log_sessions();
+        assert_eq!(svc.flush(&payload), None);
+        assert_eq!(svc.log_sessions(), logged);
+    }
+
+    #[test]
+    fn stats_report_counters() {
+        let svc = service();
+        let Response::Stats {
+            active_sessions,
+            log_sessions,
+            n_images,
+            flushed_sessions,
+        } = svc.handle(Request::Stats)
+        else {
+            panic!("stats failed")
+        };
+        assert_eq!(active_sessions, 0);
+        assert_eq!(log_sessions, 20);
+        assert_eq!(n_images, svc.db().len());
+        assert_eq!(flushed_sessions, 0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Service demo: the multi-session feedback service end to end.
+//!
+//! ```sh
+//! cargo run --release --example service_demo
+//! ```
+//!
+//! Builds a synthetic corpus with an initial feedback log, starts the
+//! service, drives several users concurrently (each a full open → judge →
+//! retrain → close loop on its own thread), shows the JSON transport, and
+//! prints how the shared log grew — the paper's loop, live: every finished
+//! session becomes log evidence for the next user's coupled SVM.
+
+use corelog::cbir::{collect_log, CorelDataset, CorelSpec};
+use corelog::core::{LrfConfig, SchemeKind};
+use corelog::logdb::SimulationConfig;
+use corelog::service::{Request, Response, Service, ServiceConfig};
+
+fn main() {
+    // 1. Corpus: 6 categories × 30 images + a simulated historical log.
+    println!("building corpus (6 categories x 30 images) ...");
+    let ds = CorelDataset::build(CorelSpec::tiny(6, 30, 7));
+    let log = collect_log(
+        &ds.db,
+        &SimulationConfig {
+            n_sessions: 40,
+            judged_per_session: 15,
+            rounds_per_query: 2,
+            noise: 0.1,
+            seed: 11,
+        },
+    );
+    println!(
+        "  {} images, {} historical log sessions",
+        ds.db.len(),
+        log.n_sessions()
+    );
+
+    // 2. The service: one shared database + flat index + log.
+    let svc = Service::new(
+        ds.db,
+        log,
+        ServiceConfig {
+            screen_size: 10,
+            pool_size: 60,
+            lrf: LrfConfig {
+                n_unlabeled: 10,
+                ..LrfConfig::default()
+            },
+            ..ServiceConfig::default()
+        },
+    );
+
+    // 3. Four users, four threads, one service. Each runs the paper's
+    //    loop: judge the initial screen, retrain (LRF-CSVM), judge the
+    //    refined screen, retrain again, close (flushing into the log).
+    let queries = [4usize, 40, 77, 130];
+    println!("driving {} concurrent user sessions ...", queries.len());
+    let t0 = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for &query in &queries {
+            let svc = &svc;
+            scope.spawn(move || {
+                let Response::Opened { session, screen } = svc.handle(Request::Open {
+                    query,
+                    scheme: SchemeKind::LrfCsvm,
+                }) else {
+                    panic!("open failed")
+                };
+                for round in 0..2 {
+                    let ids = if round == 0 {
+                        screen.clone()
+                    } else {
+                        match svc.handle(Request::Page {
+                            session,
+                            offset: 0,
+                            count: 20,
+                        }) {
+                            Response::Page { ids, .. } => ids,
+                            other => panic!("page failed: {other:?}"),
+                        }
+                    };
+                    for id in ids {
+                        let _ = svc.handle(Request::Mark {
+                            session,
+                            image: id,
+                            relevant: svc.db().same_category(id, query),
+                        });
+                    }
+                    let Response::Reranked { page, round, .. } =
+                        svc.handle(Request::Rerank { session })
+                    else {
+                        panic!("rerank failed")
+                    };
+                    let hits = page
+                        .iter()
+                        .filter(|&&id| svc.db().same_category(id, query))
+                        .count();
+                    println!(
+                        "  user(query {query:>3}) round {round}: top-{} precision {:.2}",
+                        page.len(),
+                        hits as f64 / page.len() as f64
+                    );
+                }
+                svc.handle(Request::Close { session });
+            });
+        }
+    });
+    println!("  all sessions closed in {:?}", t0.elapsed());
+
+    // 4. The JSON transport — what a network listener would relay.
+    println!("JSON transport:");
+    let reply = svc.handle_json(r#"{"Open": {"query": 9, "scheme": "RfSvm"}}"#);
+    println!("  open  -> {reply}");
+    let reply = svc.handle_json("{\"Stats\": null}");
+    println!("  stats -> {reply}");
+    let reply = svc.handle_json("definitely not json");
+    println!("  junk  -> {reply}");
+
+    // 5. The log grew by one session per closed user session: tomorrow's
+    //    queries train on today's feedback.
+    let log = svc.into_log();
+    println!(
+        "final log: {} sessions ({} judged images, {} judgments)",
+        log.n_sessions(),
+        log.n_judged_images(),
+        log.nnz()
+    );
+}

@@ -1,0 +1,261 @@
+//! Service lifecycle integration: concurrent multi-session serving against
+//! the serial single-session reference, eviction/TTL behavior through the
+//! public API, and the log-closure loop (sessions → log → future queries).
+
+use corelog::cbir::{collect_log, CorelDataset, CorelSpec, ImageDatabase};
+use corelog::core::{LrfConfig, SchemeKind};
+use corelog::logdb::{LogStore, SimulationConfig};
+use corelog::service::{Request, Response, Service, ServiceConfig, ServiceError};
+use std::sync::Barrier;
+
+fn corpus() -> (ImageDatabase, LogStore) {
+    let ds = CorelDataset::build(CorelSpec::tiny(4, 12, 19));
+    let log = collect_log(
+        &ds.db,
+        &SimulationConfig {
+            n_sessions: 24,
+            judged_per_session: 10,
+            rounds_per_query: 2,
+            noise: 0.1,
+            seed: 23,
+        },
+    );
+    (ds.db, log)
+}
+
+fn config() -> ServiceConfig {
+    ServiceConfig {
+        max_sessions: 32,
+        ttl_requests: 0,
+        screen_size: 8,
+        pool_size: 30,
+        lrf: LrfConfig {
+            n_unlabeled: 8,
+            ..LrfConfig::default()
+        },
+    }
+}
+
+/// Drives one complete two-round feedback loop and returns the full
+/// ranking after each rerank. `sync` is waited on between the last page
+/// read and the close, so concurrent drivers all retrain against the
+/// *initial* log before any of them flushes into it.
+fn drive_session(
+    svc: &Service,
+    query: usize,
+    scheme: SchemeKind,
+    sync: Option<&Barrier>,
+) -> Vec<Vec<usize>> {
+    let n = svc.db().len();
+    let Response::Opened { session, screen } = svc.handle(Request::Open { query, scheme }) else {
+        panic!("open failed")
+    };
+    let mut rankings = Vec::new();
+    for round in 0..2usize {
+        let to_judge: Vec<usize> = if round == 0 {
+            screen.clone()
+        } else {
+            // Judge the still-unjudged head of the refined ranking.
+            let Response::Page { ids, .. } = svc.handle(Request::Page {
+                session,
+                offset: 0,
+                count: 2 * screen.len(),
+            }) else {
+                panic!("page failed")
+            };
+            ids
+        };
+        for &id in &to_judge {
+            // Round 2 re-pages over judged images; duplicates are expected
+            // and rejected with a typed error, which we ignore.
+            let _ = svc.handle(Request::Mark {
+                session,
+                image: id,
+                relevant: svc.db().same_category(id, query),
+            });
+        }
+        let Response::Reranked { .. } = svc.handle(Request::Rerank { session }) else {
+            panic!("rerank failed")
+        };
+        let Response::Page { ids, .. } = svc.handle(Request::Page {
+            session,
+            offset: 0,
+            count: n,
+        }) else {
+            panic!("page failed")
+        };
+        assert_eq!(ids.len(), n, "ranking must cover the database");
+        rankings.push(ids);
+    }
+    if let Some(barrier) = sync {
+        barrier.wait();
+    }
+    let Response::Closed { .. } = svc.handle(Request::Close { session }) else {
+        panic!("close failed")
+    };
+    rankings
+}
+
+/// The acceptance bar for the serving plane: N concurrent sessions on
+/// distinct threads, against one shared service, produce rankings
+/// bit-identical to running each session alone on its own service. The
+/// barrier holds every close (log flush) until all reranks are done, so
+/// each concurrent session trains on the same initial log that each serial
+/// session sees.
+#[test]
+fn concurrent_sessions_match_serial_single_session_rankings() {
+    let (db, log) = corpus();
+    let queries = [3usize, 17, 29, 41];
+    let scheme = SchemeKind::LrfCsvm;
+
+    // Serial reference: one fresh service per query, session runs alone.
+    let serial: Vec<Vec<Vec<usize>>> = queries
+        .iter()
+        .map(|&q| {
+            let svc = Service::new(db.clone(), log.clone(), config());
+            drive_session(&svc, q, scheme, None)
+        })
+        .collect();
+
+    // Concurrent: all four sessions share one service, one thread each.
+    let svc = Service::new(db.clone(), log.clone(), config());
+    let barrier = Barrier::new(queries.len());
+    let concurrent: Vec<Vec<Vec<usize>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = queries
+            .iter()
+            .map(|&q| {
+                let svc = &svc;
+                let barrier = &barrier;
+                scope.spawn(move || drive_session(svc, q, scheme, Some(barrier)))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("session thread panicked"))
+            .collect()
+    });
+
+    assert!(queries.len() >= 2, "the acceptance bar needs >= 2 sessions");
+    for ((q, serial_rounds), concurrent_rounds) in queries.iter().zip(&serial).zip(&concurrent) {
+        assert_eq!(
+            serial_rounds, concurrent_rounds,
+            "query {q}: concurrent rankings diverged from the serial path"
+        );
+        // And they are genuine full-database permutations.
+        for ranking in serial_rounds {
+            let mut sorted = ranking.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..db.len()).collect::<Vec<_>>());
+        }
+    }
+
+    // All four sessions closed after the barrier: their judgments flushed.
+    assert_eq!(svc.log_sessions(), log.n_sessions() + queries.len());
+}
+
+/// Session residency policies observed through the public API: LRU
+/// capacity eviction and idle TTL both expire sessions with a typed error
+/// on next touch — never a panic — and salvage judgments into the log.
+#[test]
+fn eviction_and_ttl_yield_typed_errors_and_flush_the_log() {
+    let (db, log) = corpus();
+    let logged = log.n_sessions();
+
+    // Capacity 1: opening B evicts A (which had a judgment to flush).
+    let svc = Service::new(
+        db.clone(),
+        log.clone(),
+        ServiceConfig {
+            max_sessions: 1,
+            ..config()
+        },
+    );
+    let Response::Opened { session: a, .. } = svc.handle(Request::Open {
+        query: 0,
+        scheme: SchemeKind::RfSvm,
+    }) else {
+        panic!("open failed")
+    };
+    svc.handle(Request::Mark {
+        session: a,
+        image: 0,
+        relevant: true,
+    });
+    let Response::Opened { session: b, .. } = svc.handle(Request::Open {
+        query: 1,
+        scheme: SchemeKind::RfSvm,
+    }) else {
+        panic!("open failed")
+    };
+    assert_eq!(
+        svc.handle(Request::Rerank { session: a }),
+        Response::Error {
+            error: ServiceError::SessionExpired { session: a }
+        }
+    );
+    assert_eq!(svc.log_sessions(), logged + 1, "evicted judgments flushed");
+    // A session id that was never issued is distinguished from an evicted
+    // one.
+    assert_eq!(
+        svc.handle(Request::Close { session: 10_000 }),
+        Response::Error {
+            error: ServiceError::UnknownSession { session: 10_000 }
+        }
+    );
+    let _ = b;
+
+    // Idle TTL: an untouched session expires after `ttl_requests` touches
+    // of the service's logical clock.
+    let svc = Service::new(
+        db,
+        log,
+        ServiceConfig {
+            ttl_requests: 2,
+            ..config()
+        },
+    );
+    let Response::Opened { session: idle, .. } = svc.handle(Request::Open {
+        query: 2,
+        scheme: SchemeKind::Euclidean,
+    }) else {
+        panic!("open failed")
+    };
+    for _ in 0..4 {
+        svc.handle(Request::Stats);
+    }
+    assert_eq!(
+        svc.handle(Request::Page {
+            session: idle,
+            offset: 0,
+            count: 1
+        }),
+        Response::Error {
+            error: ServiceError::SessionExpired { session: idle }
+        }
+    );
+}
+
+/// The paper's loop, end to end through the service: sessions flushed into
+/// the log become new log-vector dimensions that later coupled-SVM
+/// sessions actually train on.
+#[test]
+fn flushed_sessions_feed_future_coupled_queries() {
+    let (db, log) = corpus();
+    let initial_log_sessions = log.n_sessions();
+    let svc = Service::new(db.clone(), log, config());
+
+    for q in [5usize, 13, 22] {
+        let rounds = drive_session(&svc, q, SchemeKind::LrfCsvm, None);
+        assert_eq!(rounds.len(), 2);
+    }
+    assert_eq!(svc.log_sessions(), initial_log_sessions + 3);
+
+    // Shutdown persists the grown log; a fresh service over it serves a
+    // session that sees the larger relevance matrix.
+    let grown = svc.into_log();
+    assert_eq!(grown.n_sessions(), initial_log_sessions + 3);
+    let svc2 = Service::new(db, grown, config());
+    let rounds = drive_session(&svc2, 7, SchemeKind::LrfCsvm, None);
+    assert_eq!(rounds.len(), 2);
+    assert_eq!(svc2.log_sessions(), initial_log_sessions + 4);
+}

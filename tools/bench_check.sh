@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# Bench regression gate: runs the quick-mode perf benches and fails if the
+# parallel paths lost to their serial baselines on a multi-core runner.
+#
+#   svm_score           serial decision loop  vs  decision_batch_rows
+#   service_throughput  N sessions one-by-one vs  N sessions on N threads
+#
+# On a single-core machine the parallel paths fall back to (or degenerate
+# into) the serial ones, so the gate only *reports* there — the comparison
+# is enforced when `nproc > 1` (the CI bench job). Parsed numbers are
+# written to bench-results/BENCH_ci.json as a workflow artifact, in the
+# same shape as BENCH_scoring.json's "runs" entries.
+#
+# Usage: tools/bench_check.sh [output-dir]   (default: bench-results)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT_DIR="${1:-bench-results}"
+mkdir -p "$OUT_DIR"
+RAW="$OUT_DIR/bench_raw.txt"
+JSON="$OUT_DIR/BENCH_ci.json"
+
+# The relative slowdown the parallel path is allowed before the gate trips
+# (absorbs runner noise; any real regression is far larger than 10%).
+MARGIN_PCT=10
+
+CORES="$(nproc)"
+echo "bench_check: running quick-mode benches on ${CORES} core(s)"
+
+: > "$RAW"
+BENCH_QUICK=1 cargo bench -p lrf-bench --bench svm_score | tee -a "$RAW"
+BENCH_QUICK=1 cargo bench -p lrf-bench --bench service_throughput | tee -a "$RAW"
+
+# Lines look like:  bench svm_score/nsv8/serial/2000   344,467 ns/iter
+# The harness prints "123.4" below 1e3, comma-grouped integers below 1e9,
+# and "1.234e9" above; normalize all three to integer nanoseconds so the
+# shell arithmetic below never sees a decimal point or exponent.
+parse() {
+    awk '$1 == "bench" && $NF == "ns/iter" {
+        v = $(NF-1); gsub(",", "", v); printf "%s %.0f\n", $2, v + 0
+    }' "$RAW"
+}
+
+lookup() { # lookup <name> -> ns (empty if absent)
+    parse | awk -v n="$1" '$1 == n { print $2 }'
+}
+
+fail=0
+checks_json=""
+
+check_pair() { # check_pair <label> <serial_name> <parallel_name>
+    local label="$1" serial_name="$2" parallel_name="$3"
+    local serial_ns parallel_ns verdict
+    serial_ns="$(lookup "$serial_name")"
+    parallel_ns="$(lookup "$parallel_name")"
+    if [ -z "$serial_ns" ] || [ -z "$parallel_ns" ]; then
+        echo "bench_check: FAIL ${label}: missing bench output (${serial_name}=${serial_ns:-?} ${parallel_name}=${parallel_ns:-?})"
+        fail=1
+        return
+    fi
+    local limit=$(( serial_ns + serial_ns * MARGIN_PCT / 100 ))
+    local speedup
+    speedup="$(awk -v s="$serial_ns" -v p="$parallel_ns" 'BEGIN { printf "%.2f", s / p }')"
+    if [ "$CORES" -gt 1 ] && [ "$parallel_ns" -gt "$limit" ]; then
+        verdict="fail"
+        fail=1
+        echo "bench_check: FAIL ${label}: parallel ${parallel_ns} ns > serial ${serial_ns} ns (+${MARGIN_PCT}% margin) on ${CORES} cores"
+    else
+        verdict="ok"
+        echo "bench_check: ok   ${label}: serial ${serial_ns} ns, parallel ${parallel_ns} ns (speedup ${speedup}x)"
+    fi
+    checks_json="${checks_json}${checks_json:+,}
+    { \"check\": \"${label}\", \"serial_ns\": ${serial_ns}, \"parallel_ns\": ${parallel_ns}, \"speedup\": ${speedup}, \"verdict\": \"${verdict}\" }"
+}
+
+# Quick mode pins svm_score to N=2000 and service_throughput to 4 sessions.
+check_pair "svm_score/nsv8/n2000" "svm_score/nsv8/serial/2000" "svm_score/nsv8/batch/2000"
+check_pair "svm_score/nsv64/n2000" "svm_score/nsv64/serial/2000" "svm_score/nsv64/batch/2000"
+check_pair "service_throughput/4sessions" "service_throughput/serial/4" "service_throughput/concurrent/4"
+
+enforced=$([ "$CORES" -gt 1 ] && echo true || echo false)
+cat > "$JSON" <<EOF
+{
+  "bench": "bench_check quick gate",
+  "command": "tools/bench_check.sh",
+  "cpus": ${CORES},
+  "margin_pct": ${MARGIN_PCT},
+  "enforced": ${enforced},
+  "checks": [${checks_json}
+  ]
+}
+EOF
+echo "bench_check: wrote ${JSON}"
+
+if [ "$fail" -ne 0 ]; then
+    echo "bench_check: FAILED (parallel hot path regressed against its serial baseline)"
+    exit 1
+fi
+echo "bench_check: all checks passed"
