@@ -1,14 +1,37 @@
-//! Criterion bench: SMO solver cost vs. problem size and bound structure.
+//! Criterion bench: per-round retraining latency — the cost the paper
+//! defers ("the computation cost problem when applying the algorithm to
+//! large scale applications") and the target of the warm-start + lazy
+//! kernel-cache work.
 //!
-//! The paper defers "the computation cost problem when applying the
-//! algorithm to large scale applications" to future work; these benches
-//! quantify the inner QP cost that dominates a feedback round.
+//! Groups:
+//!
+//! * `svm_train/round` — one feedback round's solve, cold (zero alphas)
+//!   vs. warm (seeded with the previous round's solution on a slightly
+//!   smaller labeled set, the session steady state).
+//! * `svm_train/gram` — the lazy kernel-row cache vs. the eager
+//!   precomputed Gram matrix, identical arithmetic (shrinking off).
+//! * `svm_train/smo` — solver cost vs. problem size and the coupled
+//!   bound structure (the original scaling benches).
+//! * `svm_train/session` — full multi-round session sequences through
+//!   [`FeedbackLoop`] at feedback-log sizes {0, 1k, 10k}: steady-state
+//!   warm rerank vs. the stateless cold ranking.
+//!
+//! Set `BENCH_QUICK=1` for the CI smoke subset (`round` at N=120 and
+//! `gram` at N=240 only) — `tools/bench_check.sh` gates warm-vs-cold and
+//! cached-vs-precomputed on those names.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use lrf_svm::{train, RbfKernel, SmoParams};
+use lrf_cbir::{collect_log, CorelDataset, CorelSpec, QueryProtocol};
+use lrf_core::{rank_candidates, FeedbackLoop, LrfConfig, QueryContext, SchemeKind};
+use lrf_logdb::{LogStore, SimulationConfig};
+use lrf_svm::{train, train_precomputed, train_warm, RbfKernel, SmoParams};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
+
+fn quick() -> bool {
+    std::env::var("BENCH_QUICK").is_ok()
+}
 
 fn gaussian_problem(n: usize, dims: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -27,7 +50,108 @@ fn gaussian_problem(n: usize, dims: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64
     (samples, labels)
 }
 
+/// Cold vs. warm retrain of one round: the warm seed is the dual solution
+/// of the *previous* round (8 fewer judgments), exactly the prefix the
+/// session API threads between reranks.
+fn bench_round_latency(c: &mut Criterion) {
+    let sizes: &[usize] = if quick() { &[120] } else { &[60, 120, 240] };
+    let mut group = c.benchmark_group("svm_train/round");
+    group.sample_size(20);
+    for &n in sizes {
+        let (samples, labels) = gaussian_problem(n, 36, 7);
+        let bounds = vec![10.0; n];
+        let params = SmoParams::default();
+        let kernel = RbfKernel::new(1.0 / 36.0);
+        group.bench_with_input(BenchmarkId::new("cold", n), &n, |b, _| {
+            b.iter(|| {
+                let svm = train(
+                    black_box(&samples),
+                    black_box(&labels),
+                    &bounds,
+                    kernel,
+                    &params,
+                )
+                .unwrap();
+                black_box(svm.stats.iterations)
+            })
+        });
+        // Previous round: the same session before its last 8 marks.
+        let prev = train(
+            &samples[..n - 8],
+            &labels[..n - 8],
+            &bounds[..n - 8],
+            kernel,
+            &params,
+        )
+        .unwrap();
+        let seed = prev.alpha;
+        group.bench_with_input(BenchmarkId::new("warm", n), &n, |b, _| {
+            b.iter(|| {
+                let svm = train_warm(
+                    black_box(&samples),
+                    black_box(&labels),
+                    &bounds,
+                    kernel,
+                    &params,
+                    Some(black_box(&seed)),
+                )
+                .unwrap();
+                black_box(svm.stats.iterations)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Lazy kernel-row cache vs. the eager Gram precompute, same arithmetic
+/// (shrinking off, so the two paths are bit-identical — see the
+/// `lrf-svm` equivalence tests).
+fn bench_gram_paths(c: &mut Criterion) {
+    let sizes: &[usize] = if quick() { &[240] } else { &[120, 240] };
+    let mut group = c.benchmark_group("svm_train/gram");
+    group.sample_size(20);
+    for &n in sizes {
+        let (samples, labels) = gaussian_problem(n, 36, 9);
+        let bounds = vec![10.0; n];
+        let params = SmoParams {
+            shrinking: false,
+            ..SmoParams::default()
+        };
+        let kernel = RbfKernel::new(1.0 / 36.0);
+        group.bench_with_input(BenchmarkId::new("precomputed", n), &n, |b, _| {
+            b.iter(|| {
+                let svm = train_precomputed(
+                    black_box(&samples),
+                    black_box(&labels),
+                    &bounds,
+                    kernel,
+                    &params,
+                )
+                .unwrap();
+                black_box(svm.stats.iterations)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cached", n), &n, |b, _| {
+            b.iter(|| {
+                let svm = train(
+                    black_box(&samples),
+                    black_box(&labels),
+                    &bounds,
+                    kernel,
+                    &params,
+                )
+                .unwrap();
+                black_box(svm.stats.cache_misses)
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_smo_sizes(c: &mut Criterion) {
+    if quick() {
+        return;
+    }
     let mut group = c.benchmark_group("smo_train");
     group.sample_size(30);
     for &n in &[20usize, 60, 120, 240] {
@@ -51,6 +175,9 @@ fn bench_smo_sizes(c: &mut Criterion) {
 }
 
 fn bench_smo_mixed_bounds(c: &mut Criterion) {
+    if quick() {
+        return;
+    }
     // The coupled-SVM shape: 20 labeled at C plus 40 unlabeled at ρ*C.
     let (samples, labels) = gaussian_problem(60, 36, 11);
     let mut bounds = vec![10.0; 20];
@@ -70,5 +197,76 @@ fn bench_smo_mixed_bounds(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_smo_sizes, bench_smo_mixed_bounds);
+/// Multi-round sessions through the serving-plane API at growing log
+/// sizes: warm steady-state rerank (the session's persistent WarmState
+/// seeds every retrain) vs. the stateless cold ranking of the same
+/// accumulated example.
+fn bench_session_rounds(c: &mut Criterion) {
+    if quick() {
+        return;
+    }
+    let ds = CorelDataset::build(CorelSpec::tiny(4, 12, 19));
+    let proto = QueryProtocol {
+        n_queries: 1,
+        n_labeled: 12,
+        seed: 3,
+    };
+    let example = proto.feedback_example(&ds.db, 9);
+    let pool: Vec<usize> = (0..ds.db.len()).collect();
+    let cfg = LrfConfig::default();
+
+    let mut group = c.benchmark_group("svm_train/session");
+    group.sample_size(10);
+    for &n_log in &[0usize, 1_000, 10_000] {
+        let log = if n_log == 0 {
+            LogStore::new(ds.db.len())
+        } else {
+            collect_log(
+                &ds.db,
+                &SimulationConfig {
+                    n_sessions: n_log,
+                    judged_per_session: 8,
+                    rounds_per_query: 1,
+                    noise: 0.1,
+                    seed: 23,
+                },
+            )
+        };
+        let ctx = QueryContext {
+            db: &ds.db,
+            log: &log,
+            example: &example,
+        };
+        // Steady state: the session has already trained once; every
+        // subsequent rerank re-solves warm from the deposited alphas.
+        let mut fb = FeedbackLoop::new(SchemeKind::Lrf2Svms, cfg, 9, ds.db.len());
+        for &(id, y) in &example.labeled {
+            fb.mark(id, y > 0.0).unwrap();
+        }
+        let _ = fb.rerank(&ds.db, &log, &pool);
+        group.bench_with_input(BenchmarkId::new("warm", n_log), &n_log, |b, _| {
+            b.iter(|| {
+                let ranking = fb.rerank(&ds.db, &log, &pool);
+                black_box(ranking.len())
+            })
+        });
+        let scheme = SchemeKind::Lrf2Svms.build(cfg);
+        group.bench_with_input(BenchmarkId::new("cold", n_log), &n_log, |b, _| {
+            b.iter(|| {
+                let ranking = rank_candidates(scheme.as_ref(), &ctx, &pool);
+                black_box(ranking.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_round_latency,
+    bench_gram_paths,
+    bench_smo_sizes,
+    bench_smo_mixed_bounds,
+    bench_session_rounds
+);
 criterion_main!(benches);

@@ -40,6 +40,13 @@ pub struct CoupledConfig {
     /// when `ρ*` reaches it); the paper's intent — "increase ρ until it
     /// achieves a setting threshold" — is preserved by this final pass.
     pub final_full_rho_pass: bool,
+    /// Seed every retrain inside one [`crate::train_coupled`] call with the
+    /// previous pair's dual solution (clipped to the new `ρ*` bounds and
+    /// repaired). The annealing schedule re-solves the same sample set a
+    /// dozen-plus times, so warm solves converge in a fraction of the cold
+    /// iterations; the final models agree with cold training within the
+    /// solver's KKT tolerance. Disable to reproduce cold-start behavior.
+    pub warm_start: bool,
     /// Inner QP solver parameters.
     pub smo: SmoParams,
 }
@@ -54,6 +61,7 @@ impl Default for CoupledConfig {
             delta: 0.5,
             max_correction_rounds: 10,
             final_full_rho_pass: true,
+            warm_start: true,
             smo: SmoParams::default(),
         }
     }

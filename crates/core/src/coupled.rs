@@ -21,9 +21,18 @@
 //! **Annealing.** `ρ*` starts at `10⁻⁴` so unlabeled points cannot dominate
 //! early, and doubles per outer round up to `ρ` — "similar to the approach
 //! in transductive SVM" (Joachims).
+//!
+//! **Warm starts.** Every retrain inside one [`train_coupled`] call solves
+//! a QP over the *same* concatenated sample set — only the bounds (`ρ*`
+//! doubling) and a few pseudo-labels change between rounds. With
+//! [`CoupledConfig::warm_start`] (the default) each solve is seeded with
+//! the previous pair's dual solution via [`lrf_svm::train_warm`], which
+//! clips it to the new bounds and repairs feasibility; the annealing
+//! schedule's dozen-plus retrains then each start a stone's throw from
+//! their optimum instead of from zero.
 
 use crate::config::CoupledConfig;
-use lrf_svm::{train, Kernel, SvmError, TrainedSvm};
+use lrf_svm::{train_warm, Kernel, SvmError, TrainedSvm};
 use serde::{Deserialize, Serialize};
 use std::borrow::Borrow;
 
@@ -188,7 +197,9 @@ where
     #[allow(clippy::type_complexity)]
     let train_pair = |rho_star: f64,
                       y_prime: &[f64],
-                      retrains: &mut usize|
+                      retrains: &mut usize,
+                      warm_a: Option<&[f64]>,
+                      warm_b: Option<&[f64]>|
      -> Result<(TrainedSvm<S1, K1>, TrainedSvm<S2, K2>), SvmError> {
         let mut labels = Vec::with_capacity(n_l + n_u);
         labels.extend_from_slice(y);
@@ -197,8 +208,22 @@ where
         bounds_a.extend(std::iter::repeat_n(rho_star * cfg.c_content, n_u));
         let mut bounds_b = vec![cfg.c_log; n_l];
         bounds_b.extend(std::iter::repeat_n(rho_star * cfg.c_log, n_u));
-        let a = train(&all_a, &labels, &bounds_a, kernel_a.clone(), &cfg.smo)?;
-        let b = train(&all_b, &labels, &bounds_b, kernel_b.clone(), &cfg.smo)?;
+        let a = train_warm(
+            &all_a,
+            &labels,
+            &bounds_a,
+            kernel_a.clone(),
+            &cfg.smo,
+            warm_a,
+        )?;
+        let b = train_warm(
+            &all_b,
+            &labels,
+            &bounds_b,
+            kernel_b.clone(),
+            &cfg.smo,
+            warm_b,
+        )?;
         *retrains += 1;
         Ok((a, b))
     };
@@ -206,7 +231,7 @@ where
     // Degenerate-but-legal case: no unlabeled points. The coupled problem
     // collapses to two independent labeled SVMs.
     if n_u == 0 {
-        let (a, b) = train_pair(cfg.rho, &y_prime, &mut report.retrains)?;
+        let (a, b) = train_pair(cfg.rho, &y_prime, &mut report.retrains, None, None)?;
         report.rho_steps = 1;
         return Ok(CoupledOutcome {
             content: a,
@@ -216,7 +241,7 @@ where
     }
 
     let mut rho_star = cfg.rho_init.min(cfg.rho);
-    let mut pair = train_pair(rho_star, &y_prime, &mut report.retrains)?;
+    let mut pair = train_pair(rho_star, &y_prime, &mut report.retrains, None, None)?;
     run_label_correction(
         &mut pair,
         unlabeled_a,
@@ -235,7 +260,14 @@ where
         // The loop body trains at the *new* ρ* only while it is still below
         // ρ; the final value is covered by `final_full_rho_pass` below.
         if rho_star < cfg.rho || cfg.final_full_rho_pass {
-            pair = train_pair(rho_star, &y_prime, &mut report.retrains)?;
+            let (wa, wb) = warm_seeds(cfg, &pair);
+            pair = train_pair(
+                rho_star,
+                &y_prime,
+                &mut report.retrains,
+                wa.as_deref(),
+                wb.as_deref(),
+            )?;
             run_label_correction(
                 &mut pair,
                 unlabeled_a,
@@ -256,6 +288,24 @@ where
         log: pair.1,
         report,
     })
+}
+
+/// The dual seeds for the next retrain: clones of the current pair's alpha
+/// vectors when warm starting is enabled, `None` (cold solves) otherwise.
+/// Cloned because the retrain overwrites the pair the seeds come from.
+fn warm_seeds<S1, K1, S2, K2>(
+    cfg: &CoupledConfig,
+    pair: &(TrainedSvm<S1, K1>, TrainedSvm<S2, K2>),
+) -> (Option<Vec<f64>>, Option<Vec<f64>>)
+where
+    S1: ?Sized + ToOwned,
+    S2: ?Sized + ToOwned,
+{
+    if cfg.warm_start {
+        (Some(pair.0.alpha.clone()), Some(pair.1.alpha.clone()))
+    } else {
+        (None, None)
+    }
 }
 
 /// The inner correction loop of Fig. 1: while any unlabeled point has
@@ -279,7 +329,13 @@ where
     S2: ?Sized + ToOwned,
     B2: Borrow<S2>,
     K2: Kernel<S2>,
-    F: Fn(f64, &[f64], &mut usize) -> Result<(TrainedSvm<S1, K1>, TrainedSvm<S2, K2>), SvmError>,
+    F: Fn(
+        f64,
+        &[f64],
+        &mut usize,
+        Option<&[f64]>,
+        Option<&[f64]>,
+    ) -> Result<(TrainedSvm<S1, K1>, TrainedSvm<S2, K2>), SvmError>,
 {
     for round in 0.. {
         if round >= cfg.max_correction_rounds {
@@ -299,7 +355,14 @@ where
         if !flipped_any {
             break;
         }
-        *pair = train_pair(rho_star, y_prime, &mut report.retrains)?;
+        let (wa, wb) = warm_seeds(cfg, pair);
+        *pair = train_pair(
+            rho_star,
+            y_prime,
+            &mut report.retrains,
+            wa.as_deref(),
+            wb.as_deref(),
+        )?;
     }
     Ok(())
 }
@@ -533,6 +596,43 @@ mod tests {
             (d_weak - d_strong).abs() > 1e-6,
             "rho must matter: {d_weak} vs {d_strong}"
         );
+    }
+
+    #[test]
+    fn warm_started_retrains_match_cold_training() {
+        // Warm starting the annealing schedule's retrains is a pure
+        // performance device: the final models must agree with cold
+        // training on decision values (within the solver tolerance) and on
+        // the transductive outcome (identical final pseudo-labels), while
+        // spending no more total SMO iterations.
+        let (la, lb, y, ua, ub) = agreeing_problem();
+        let (ka, kb) = kernels();
+        let warm_cfg = CoupledConfig::default();
+        assert!(warm_cfg.warm_start, "warm starts must be the default");
+        let cold_cfg = CoupledConfig {
+            warm_start: false,
+            ..warm_cfg
+        };
+        let warm = train_coupled(&la, &lb, &y, &ua, &ub, &[1.0, -1.0], ka, kb, &warm_cfg).unwrap();
+        let cold = train_coupled(&la, &lb, &y, &ua, &ub, &[1.0, -1.0], ka, kb, &cold_cfg).unwrap();
+        assert_eq!(warm.report.final_labels, cold.report.final_labels);
+        assert_eq!(warm.report.retrains, cold.report.retrains);
+        for x in la.iter().chain(&ua) {
+            let dw = warm.content.model.decision(x);
+            let dc = cold.content.model.decision(x);
+            assert!(
+                (dw - dc).abs() < 1e-2,
+                "content decisions diverged: warm {dw} vs cold {dc}"
+            );
+        }
+        for r in lb.iter().chain(&ub) {
+            let dw = warm.log.model.decision(r);
+            let dc = cold.log.model.decision(r);
+            assert!(
+                (dw - dc).abs() < 1e-2,
+                "log decisions diverged: warm {dw} vs cold {dc}"
+            );
+        }
     }
 
     #[test]

@@ -2,6 +2,62 @@
 
 use lrf_cbir::{FeedbackExample, ImageDatabase};
 use lrf_logdb::LogStore;
+use lrf_svm::SolveStats;
+use serde::{Deserialize, Serialize};
+
+/// Solver diagnostics for the most recent retrain of a scheme, aggregated
+/// over however many SVMs the scheme trains (content + log side for the
+/// two-machine and coupled schemes). Surfaced by
+/// [`crate::rounds::FeedbackLoop::last_diagnostics`] so a
+/// `max_iter`-capped solve is observable instead of silent.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RoundDiagnostics {
+    /// Whether *every* solve of the round reached its KKT tolerance (vs.
+    /// hitting `max_iter`).
+    pub converged: bool,
+    /// Total SMO iterations across the round's solves.
+    pub iterations: usize,
+    /// Kernel-row cache hits across the round's solves.
+    pub cache_hits: u64,
+    /// Kernel-row cache misses across the round's solves.
+    pub cache_misses: u64,
+}
+
+impl RoundDiagnostics {
+    /// Folds one solver run into the round's aggregate.
+    pub fn absorb(&mut self, stats: &SolveStats) {
+        self.converged &= stats.converged;
+        self.iterations += stats.iterations;
+        self.cache_hits += stats.cache_hits;
+        self.cache_misses += stats.cache_misses;
+    }
+
+    /// The identity element for [`absorb`](Self::absorb): converged until
+    /// a non-converged solve is folded in.
+    pub fn all_converged() -> Self {
+        Self {
+            converged: true,
+            ..Self::default()
+        }
+    }
+}
+
+/// Warm-start state a session carries between feedback rounds: the
+/// previous round's dual solutions, per modality. The labeled set only
+/// ever grows by appending (`FeedbackLoop::mark`), so entry `i` of a
+/// stored alpha vector still describes sample `i` of the next round's
+/// training set and any newly labeled tail starts cold — exactly the
+/// prefix mapping [`lrf_svm::train_warm`] implements.
+#[derive(Clone, Debug, Default)]
+pub struct WarmState {
+    /// Previous content-side alphas, in labeled-set (mark) order.
+    pub content: Option<Vec<f64>>,
+    /// Previous log-side alphas, in labeled-set order.
+    pub log: Option<Vec<f64>>,
+    /// Diagnostics from the most recent retrain, `None` until a scheme
+    /// that actually trains has run.
+    pub last: Option<RoundDiagnostics>,
+}
 
 /// Everything a scheme sees when ranking: the database, the accumulated
 /// feedback log, and the current query's feedback round.
@@ -42,6 +98,21 @@ pub trait RelevanceFeedback {
     fn score_ids(&self, ctx: &QueryContext<'_>, ids: &[usize]) -> Option<Vec<f64>> {
         self.scores(ctx)
             .map(|all| ids.iter().map(|&id| all[id]).collect())
+    }
+
+    /// [`score_ids`](Self::score_ids) with session warm-start state: the
+    /// scheme may seed its solver from `warm`'s previous-round alphas and
+    /// must deposit the new solution (and [`RoundDiagnostics`]) back for
+    /// the next round. The default ignores the state and scores cold, so
+    /// schemes without training (Euclidean) need no override, and a fresh
+    /// [`WarmState`] makes this identical to `score_ids` by construction.
+    fn score_ids_warm(
+        &self,
+        ctx: &QueryContext<'_>,
+        ids: &[usize],
+        _warm: &mut WarmState,
+    ) -> Option<Vec<f64>> {
+        self.score_ids(ctx, ids)
     }
 }
 

@@ -31,7 +31,10 @@
 //!   backend and a full pool this reproduces the paper's ranking exactly.
 //! * [`rounds`] — the serving path: [`rounds::FeedbackLoop`] turns the
 //!   one-shot schemes into resumable multi-round sessions (accumulated
-//!   judgments, typed errors, log-session flush) for `lrf-service`.
+//!   judgments, typed errors, log-session flush) for `lrf-service`. Each
+//!   round after the first warm-starts its solver from the previous
+//!   round's dual solution ([`feedback::WarmState`]) and surfaces solver
+//!   health via [`feedback::RoundDiagnostics`].
 //!
 //! ## Quickstart
 //!
@@ -74,11 +77,11 @@ pub use active::RoundSelection;
 pub use config::{CoupledConfig, LrfConfig, PseudoLabelInit, UnlabeledSelection};
 pub use coupled::{train_coupled, CoupledOutcome, TrainReport};
 pub use euclidean::EuclideanScheme;
-pub use feedback::{QueryContext, RelevanceFeedback};
+pub use feedback::{QueryContext, RelevanceFeedback, RoundDiagnostics, WarmState};
 pub use kernels::{LogCosineRbfKernel, LogKernel, LogLinearKernel, LogRbfKernel};
 pub use log_collection::collect_feedback_log;
 pub use lrf_2svms::Lrf2Svms;
 pub use lrf_csvm::LrfCsvm;
-pub use pooled::{rank_candidates, PooledRetrieval};
+pub use pooled::{rank_candidates, rank_candidates_warm, PooledRetrieval};
 pub use rf_svm::RfSvm;
 pub use rounds::{FeedbackLoop, RoundError, SchemeKind};

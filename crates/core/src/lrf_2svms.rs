@@ -8,11 +8,13 @@
 //! `f_w(x_i) + f_u(r_i)`.
 
 use crate::config::LrfConfig;
-use crate::feedback::{rank_by_scores, QueryContext, RelevanceFeedback};
+use crate::feedback::{
+    rank_by_scores, QueryContext, RelevanceFeedback, RoundDiagnostics, WarmState,
+};
 use crate::kernels::LogKernel;
 use crate::rf_svm::RfSvm;
 use lrf_logdb::SparseVector;
-use lrf_svm::{train, SvmModel, TrainedSvm};
+use lrf_svm::{train_warm, SvmModel, TrainedSvm};
 
 /// Linear combination of two independently trained SVMs.
 #[derive(Clone, Debug, Default)]
@@ -32,6 +34,16 @@ impl Lrf2Svms {
     /// vectors from the store (no clone per sample). Exposed for reuse by
     /// LRF-CSVM (this is its log-side initial model).
     pub fn train_log_svm(&self, ctx: &QueryContext<'_>) -> TrainedSvm<SparseVector, LogKernel> {
+        self.train_log_svm_warm(ctx, None)
+    }
+
+    /// [`train_log_svm`](Self::train_log_svm), optionally seeded with the
+    /// previous round's log-side alphas (labeled-set order).
+    pub fn train_log_svm_warm(
+        &self,
+        ctx: &QueryContext<'_>,
+        warm: Option<&[f64]>,
+    ) -> TrainedSvm<SparseVector, LogKernel> {
         let samples: Vec<&SparseVector> = ctx
             .example
             .labeled
@@ -40,12 +52,13 @@ impl Lrf2Svms {
             .collect();
         let labels: Vec<f64> = ctx.example.labeled.iter().map(|&(_, y)| y).collect();
         let bounds = vec![self.config.coupled.c_log; samples.len()];
-        train(
+        train_warm(
             &samples,
             &labels,
             &bounds,
             self.config.log_kernel,
             &self.config.coupled.smo,
+            warm,
         )
         .expect("log SVM training cannot fail on validated feedback rounds")
     }
@@ -97,6 +110,31 @@ impl RelevanceFeedback for Lrf2Svms {
     fn score_ids(&self, ctx: &QueryContext<'_>, ids: &[usize]) -> Option<Vec<f64>> {
         let content = RfSvm::new(self.config).train_content_svm(ctx);
         let logside = self.train_log_svm(ctx);
+        let content_scores = RfSvm::score_subset(ctx.db, &content.model, ids);
+        let log_scores = Self::score_subset_log(ctx.log, &logside.model, ids);
+        Some(
+            content_scores
+                .iter()
+                .zip(&log_scores)
+                .map(|(c, l)| c + l)
+                .collect(),
+        )
+    }
+
+    fn score_ids_warm(
+        &self,
+        ctx: &QueryContext<'_>,
+        ids: &[usize],
+        warm: &mut WarmState,
+    ) -> Option<Vec<f64>> {
+        let content = RfSvm::new(self.config).train_content_svm_warm(ctx, warm.content.as_deref());
+        let logside = self.train_log_svm_warm(ctx, warm.log.as_deref());
+        let mut diag = RoundDiagnostics::all_converged();
+        diag.absorb(&content.stats);
+        diag.absorb(&logside.stats);
+        warm.content = Some(content.alpha.clone());
+        warm.log = Some(logside.alpha.clone());
+        warm.last = Some(diag);
         let content_scores = RfSvm::score_subset(ctx.db, &content.model, ids);
         let log_scores = Self::score_subset_log(ctx.log, &logside.model, ids);
         Some(

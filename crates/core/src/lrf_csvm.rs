@@ -22,7 +22,7 @@
 
 use crate::config::{LrfConfig, PseudoLabelInit, UnlabeledSelection};
 use crate::coupled::{train_coupled, CoupledOutcome, TrainReport};
-use crate::feedback::{QueryContext, RelevanceFeedback};
+use crate::feedback::{QueryContext, RelevanceFeedback, RoundDiagnostics, WarmState};
 use crate::lrf_2svms::Lrf2Svms;
 use crate::rf_svm::RfSvm;
 use lrf_logdb::SparseVector;
@@ -72,14 +72,31 @@ impl LrfCsvm {
     }
 
     fn run_on(&self, ctx: &QueryContext<'_>, universe: Option<&[usize]>) -> LrfCsvmOutcome {
+        self.run_inner(ctx, universe, None)
+    }
+
+    fn run_inner(
+        &self,
+        ctx: &QueryContext<'_>,
+        universe: Option<&[usize]>,
+        warm: Option<&mut WarmState>,
+    ) -> LrfCsvmOutcome {
         let cfg = &self.config;
         let db = ctx.db;
         let universe: Vec<usize> =
             universe.map_or_else(|| (0..db.len()).collect(), <[usize]>::to_vec);
 
+        // Previous-round seeds for step 1's labeled-only SVMs: the labeled
+        // prefix of the last coupled solution is bounded by the same `C` as
+        // a labeled-only solve, so it prefix-maps directly.
+        let (seed_content, seed_log) = match warm.as_deref() {
+            Some(w) => (w.content.clone(), w.log.clone()),
+            None => (None, None),
+        };
+
         // ---- Step 1: initial per-modality SVMs on the labeled round. ----
-        let content0 = RfSvm::new(*cfg).train_content_svm(ctx);
-        let log0 = Lrf2Svms::new(*cfg).train_log_svm(ctx);
+        let content0 = RfSvm::new(*cfg).train_content_svm_warm(ctx, seed_content.as_deref());
+        let log0 = Lrf2Svms::new(*cfg).train_log_svm_warm(ctx, seed_log.as_deref());
 
         let content_scores = RfSvm::score_subset(db, &content0.model, &universe);
         let log_scores = Lrf2Svms::score_subset_log(ctx.log, &log0.model, &universe);
@@ -153,6 +170,18 @@ impl LrfCsvm {
                 .then(universe[a].cmp(&universe[b]))
         });
         let ranking: Vec<usize> = order.into_iter().map(|i| universe[i]).collect();
+
+        if let Some(w) = warm {
+            let n_l = y.len();
+            let mut diag = RoundDiagnostics::all_converged();
+            diag.absorb(&content0.stats);
+            diag.absorb(&log0.stats);
+            diag.absorb(&outcome.content.stats);
+            diag.absorb(&outcome.log.stats);
+            w.content = Some(outcome.content.alpha[..n_l].to_vec());
+            w.log = Some(outcome.log.alpha[..n_l].to_vec());
+            w.last = Some(diag);
+        }
 
         LrfCsvmOutcome {
             ranking,
@@ -267,6 +296,15 @@ impl RelevanceFeedback for LrfCsvm {
 
     fn score_ids(&self, ctx: &QueryContext<'_>, ids: &[usize]) -> Option<Vec<f64>> {
         Some(self.run_pooled(ctx, ids).scores)
+    }
+
+    fn score_ids_warm(
+        &self,
+        ctx: &QueryContext<'_>,
+        ids: &[usize],
+        warm: &mut WarmState,
+    ) -> Option<Vec<f64>> {
+        Some(self.run_inner(ctx, Some(ids), Some(warm)).scores)
     }
 }
 

@@ -13,7 +13,7 @@
 //!   exceeds `Δ` (for `k = 2` this is exactly Fig. 1's rule).
 
 use crate::coupled::TrainReport;
-use lrf_svm::{train, Kernel, SmoParams, SvmError, SvmModel, TrainedSvm};
+use lrf_svm::{train_warm, Kernel, SmoParams, SvmError, SvmModel, TrainedSvm};
 use serde::{Deserialize, Serialize};
 
 /// Kernel choice for a dense modality (an enum so heterogeneous modalities
@@ -67,6 +67,9 @@ pub struct MultiCoupledConfig {
     pub max_correction_rounds: usize,
     /// Whether to run a final pass at ρ* = ρ.
     pub final_full_rho_pass: bool,
+    /// Seed each retrain with the previous machines' dual solutions (see
+    /// [`crate::CoupledConfig::warm_start`]).
+    pub warm_start: bool,
     /// Inner solver parameters.
     pub smo: SmoParams,
 }
@@ -79,6 +82,7 @@ impl Default for MultiCoupledConfig {
             delta: 2.0,
             max_correction_rounds: 10,
             final_full_rho_pass: true,
+            warm_start: true,
             smo: SmoParams::default(),
         }
     }
@@ -176,7 +180,8 @@ pub fn train_multi_coupled(
 
     let train_all = |rho_star: f64,
                      y_prime: &[f64],
-                     retrains: &mut usize|
+                     retrains: &mut usize,
+                     warm: Option<&[TrainedSvm<[f64], DenseKernel>]>|
      -> Result<Vec<TrainedSvm<[f64], DenseKernel>>, SvmError> {
         let mut labels = Vec::with_capacity(n_l + n_u);
         labels.extend_from_slice(y);
@@ -185,7 +190,15 @@ pub fn train_multi_coupled(
         for (m, data) in modalities.iter().enumerate() {
             let mut bounds = vec![data.c; n_l];
             bounds.extend(std::iter::repeat_n(rho_star * data.c, n_u));
-            out.push(train(&all[m], &labels, &bounds, data.kernel, &cfg.smo)?);
+            let seed = warm.map(|w| w[m].alpha.as_slice());
+            out.push(train_warm(
+                &all[m],
+                &labels,
+                &bounds,
+                data.kernel,
+                &cfg.smo,
+                seed,
+            )?);
         }
         *retrains += 1;
         Ok(out)
@@ -220,26 +233,36 @@ pub fn train_multi_coupled(
             if !flipped {
                 break;
             }
-            *machines = train_all(rho_star, y_prime, &mut report.retrains)?;
+            *machines = train_all(
+                rho_star,
+                y_prime,
+                &mut report.retrains,
+                cfg.warm_start.then_some(&machines[..]),
+            )?;
         }
         Ok(())
     };
 
     if n_u == 0 {
-        let machines = train_all(cfg.rho, &y_prime, &mut report.retrains)?;
+        let machines = train_all(cfg.rho, &y_prime, &mut report.retrains, None)?;
         report.rho_steps = 1;
         return Ok(MultiCoupledOutcome { machines, report });
     }
 
     let mut rho_star = cfg.rho_init.min(cfg.rho);
-    let mut machines = train_all(rho_star, &y_prime, &mut report.retrains)?;
+    let mut machines = train_all(rho_star, &y_prime, &mut report.retrains, None)?;
     correction(&mut machines, &mut y_prime, &mut report, rho_star)?;
     report.rho_steps += 1;
 
     while rho_star < cfg.rho {
         rho_star = (2.0 * rho_star).min(cfg.rho);
         if rho_star < cfg.rho || cfg.final_full_rho_pass {
-            machines = train_all(rho_star, &y_prime, &mut report.retrains)?;
+            machines = train_all(
+                rho_star,
+                &y_prime,
+                &mut report.retrains,
+                cfg.warm_start.then_some(machines.as_slice()),
+            )?;
             correction(&mut machines, &mut y_prime, &mut report, rho_star)?;
             report.rho_steps += 1;
         }

@@ -15,7 +15,7 @@
 //! construction, not by accident — to the paper's full ranking, so the
 //! pooled path is a strict generalization of the reproduction.
 
-use crate::feedback::{QueryContext, RelevanceFeedback};
+use crate::feedback::{QueryContext, RelevanceFeedback, WarmState};
 use lrf_index::AnnIndex;
 
 /// The two-stage (index → re-rank) retrieval driver.
@@ -83,7 +83,22 @@ pub fn rank_candidates<S: RelevanceFeedback + ?Sized>(
     ctx: &QueryContext<'_>,
     pool: &[usize],
 ) -> Vec<usize> {
-    let mut head = match scheme.score_ids(ctx, pool) {
+    rank_candidates_warm(scheme, ctx, pool, &mut WarmState::default())
+}
+
+/// [`rank_candidates`] with session warm-start state threaded through to
+/// the scheme's solver ([`RelevanceFeedback::score_ids_warm`]). The
+/// stateful session API ([`crate::rounds::FeedbackLoop`]) calls this with
+/// its persistent [`WarmState`]; `rank_candidates` itself passes a fresh
+/// one, so the one-shot and first-round stateful paths remain the same
+/// code and the same arithmetic.
+pub fn rank_candidates_warm<S: RelevanceFeedback + ?Sized>(
+    scheme: &S,
+    ctx: &QueryContext<'_>,
+    pool: &[usize],
+    warm: &mut WarmState,
+) -> Vec<usize> {
+    let mut head = match scheme.score_ids_warm(ctx, pool, warm) {
         Some(scores) => {
             let mut order: Vec<usize> = (0..pool.len()).collect();
             order.sort_by(|&a, &b| {

@@ -6,8 +6,10 @@
 //! decision value.
 
 use crate::config::LrfConfig;
-use crate::feedback::{rank_by_scores, QueryContext, RelevanceFeedback};
-use lrf_svm::{train, RbfKernel, SvmModel, TrainedSvm};
+use crate::feedback::{
+    rank_by_scores, QueryContext, RelevanceFeedback, RoundDiagnostics, WarmState,
+};
+use lrf_svm::{train_warm, RbfKernel, SvmModel, TrainedSvm};
 
 /// Content-only SVM relevance feedback.
 #[derive(Clone, Debug, Default)]
@@ -29,6 +31,18 @@ impl RfSvm {
     /// reuse by the log-based schemes (this is exactly their content-side
     /// initial model).
     pub fn train_content_svm(&self, ctx: &QueryContext<'_>) -> TrainedSvm<[f64], RbfKernel> {
+        self.train_content_svm_warm(ctx, None)
+    }
+
+    /// [`train_content_svm`](Self::train_content_svm), optionally seeded
+    /// with the previous round's content-side alphas (labeled-set order;
+    /// the set grows by appending, so the seed prefix-maps onto the new
+    /// round's samples).
+    pub fn train_content_svm_warm(
+        &self,
+        ctx: &QueryContext<'_>,
+        warm: Option<&[f64]>,
+    ) -> TrainedSvm<[f64], RbfKernel> {
         let samples: Vec<&[f64]> = ctx
             .example
             .labeled
@@ -41,12 +55,13 @@ impl RfSvm {
             .config
             .gamma_content
             .unwrap_or(1.0 / lrf_features::TOTAL_DIMS as f64);
-        train(
+        train_warm(
             &samples,
             &labels,
             &bounds,
             RbfKernel::new(gamma),
             &self.config.coupled.smo,
+            warm,
         )
         .expect("content SVM training cannot fail on validated feedback rounds")
     }
@@ -86,6 +101,20 @@ impl RelevanceFeedback for RfSvm {
 
     fn score_ids(&self, ctx: &QueryContext<'_>, ids: &[usize]) -> Option<Vec<f64>> {
         let svm = self.train_content_svm(ctx);
+        Some(Self::score_subset(ctx.db, &svm.model, ids))
+    }
+
+    fn score_ids_warm(
+        &self,
+        ctx: &QueryContext<'_>,
+        ids: &[usize],
+        warm: &mut WarmState,
+    ) -> Option<Vec<f64>> {
+        let svm = self.train_content_svm_warm(ctx, warm.content.as_deref());
+        let mut diag = RoundDiagnostics::all_converged();
+        diag.absorb(&svm.stats);
+        warm.content = Some(svm.alpha.clone());
+        warm.last = Some(diag);
         Some(Self::score_subset(ctx.db, &svm.model, ids))
     }
 }

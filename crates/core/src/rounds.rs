@@ -12,18 +12,22 @@
 //! [`LogSession`] for the feedback log — closing the loop the paper
 //! describes, where today's sessions become tomorrow's log vectors.
 //!
-//! Determinism contract: a [`FeedbackLoop`] driven with a given sequence of
-//! `mark`/`rerank` calls produces bit-identical rankings to the one-shot
-//! path ([`crate::pooled::rank_candidates`] on the equivalent
-//! [`FeedbackExample`]) — the multi-session service asserts exactly this
-//! against its serial reference.
+//! Determinism contract: a [`FeedbackLoop`]'s *first* `rerank` is
+//! bit-identical to the one-shot path ([`crate::pooled::rank_candidates`]
+//! on the equivalent [`FeedbackExample`]) — same code, empty
+//! [`WarmState`] — and the multi-session service asserts exactly this
+//! against its serial reference. Later rounds warm-start each retrain from
+//! the previous round's dual solution ([`WarmState`]): the solver converges
+//! to the same KKT tolerance from a much closer seed, so rankings agree
+//! with the cold path up to score ties within `eps`, at a fraction of the
+//! iterations.
 
 use crate::config::LrfConfig;
 use crate::euclidean::EuclideanScheme;
-use crate::feedback::{QueryContext, RelevanceFeedback};
+use crate::feedback::{QueryContext, RelevanceFeedback, RoundDiagnostics, WarmState};
 use crate::lrf_2svms::Lrf2Svms;
 use crate::lrf_csvm::LrfCsvm;
-use crate::pooled::rank_candidates;
+use crate::pooled::rank_candidates_warm;
 use crate::rf_svm::RfSvm;
 use lrf_cbir::{FeedbackExample, ImageDatabase};
 use lrf_logdb::{LogSession, LogStore, Relevance};
@@ -120,6 +124,9 @@ pub struct FeedbackLoop {
     /// so replaying the same marks reproduces the same model bit-for-bit.
     labeled: Vec<(usize, f64)>,
     rounds: usize,
+    /// Previous round's dual solutions: because marks only append, the
+    /// stored alphas prefix-map onto the next retrain's sample set.
+    warm: WarmState,
 }
 
 impl FeedbackLoop {
@@ -141,6 +148,7 @@ impl FeedbackLoop {
             n_images,
             labeled: Vec::new(),
             rounds: 0,
+            warm: WarmState::default(),
         }
     }
 
@@ -200,7 +208,9 @@ impl FeedbackLoop {
     /// Retrains on the accumulated judgments and ranks `pool` (candidate
     /// ids from the retrieval front-end), returning a full-database
     /// permutation: re-ranked pool first, out-of-pool ids trailing in id
-    /// order — exactly [`rank_candidates`] on [`Self::example`].
+    /// order — exactly [`crate::pooled::rank_candidates`] on
+    /// [`Self::example`] (the first round bit-identically; warm-started
+    /// later rounds within the solver tolerance).
     ///
     /// # Panics
     /// Panics if `db`/`log` don't cover the session's `n_images` or `pool`
@@ -213,9 +223,19 @@ impl FeedbackLoop {
             log,
             example: &example,
         };
-        let ranking = rank_candidates(self.scheme.as_ref(), &ctx, pool);
+        let ranking = rank_candidates_warm(self.scheme.as_ref(), &ctx, pool, &mut self.warm);
         self.rounds += 1;
         ranking
+    }
+
+    /// Solver diagnostics from the most recent [`rerank`](Self::rerank):
+    /// `None` before the first round or for schemes that never train
+    /// (Euclidean). A round whose diagnostics say `!converged` hit the
+    /// solver's `max_iter` cap somewhere — the ranking is still usable but
+    /// approximate, and a service should surface it rather than stay
+    /// silent.
+    pub fn last_diagnostics(&self) -> Option<RoundDiagnostics> {
+        self.warm.last
     }
 
     /// The finished session as a feedback-log unit (empty if the user
@@ -237,6 +257,8 @@ impl std::fmt::Debug for FeedbackLoop {
             .field("query", &self.query)
             .field("n_judged", &self.labeled.len())
             .field("rounds", &self.rounds)
+            .field("warm", &self.warm.content.is_some())
+            .field("last_diagnostics", &self.warm.last)
             .finish()
     }
 }
@@ -244,7 +266,7 @@ impl std::fmt::Debug for FeedbackLoop {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::pooled::PooledRetrieval;
+    use crate::pooled::{rank_candidates, PooledRetrieval};
     use lrf_cbir::{collect_log, CorelDataset, CorelSpec, QueryProtocol};
     use lrf_logdb::SimulationConfig;
 
@@ -316,6 +338,85 @@ mod tests {
             assert_eq!(stateful, oneshot, "{}", kind.name());
             assert_eq!(fb.rounds(), 1);
         }
+    }
+
+    #[test]
+    fn warm_rounds_rank_like_the_one_shot_path() {
+        // Satellite of the warm-start work: drive multi-round sessions and
+        // check every round's ranking against the stateless (cold) ranking
+        // on the equivalent accumulated example. Warm starting changes the
+        // solver's path to the optimum, not the optimum itself — both runs
+        // stop at the same KKT tolerance, so decision values agree within
+        // a small multiple of `eps` and the rankings may disagree only
+        // where the cold scores are essentially tied.
+        let (ds, log) = setup();
+        let proto = QueryProtocol {
+            n_queries: 1,
+            n_labeled: 12,
+            seed: 3,
+        };
+        let pool: Vec<usize> = (0..ds.db.len()).collect();
+        for kind in [SchemeKind::RfSvm, SchemeKind::Lrf2Svms, SchemeKind::LrfCsvm] {
+            let example = proto.feedback_example(&ds.db, 9);
+            let mut fb = FeedbackLoop::new(kind, small_config(), 9, ds.db.len());
+            // Three rounds of four marks each.
+            for (round, chunk) in example.labeled.chunks(4).enumerate() {
+                for &(id, y) in chunk {
+                    fb.mark(id, y > 0.0).unwrap();
+                }
+                let stateful = fb.rerank(&ds.db, &log, &pool);
+                let sofar = fb.example();
+                let ctx = QueryContext {
+                    db: &ds.db,
+                    log: &log,
+                    example: &sofar,
+                };
+                let cold_scheme = kind.build(small_config());
+                let cold = rank_candidates(cold_scheme.as_ref(), &ctx, &pool);
+                let cold_scores = cold_scheme
+                    .score_ids(&ctx, &pool)
+                    .expect("SVM schemes produce scores");
+                let mut score_of = vec![0.0; ds.db.len()];
+                for (k, &id) in pool.iter().enumerate() {
+                    score_of[id] = cold_scores[k];
+                }
+                for (pos, (&w, &c)) in stateful.iter().zip(&cold).enumerate() {
+                    if w != c {
+                        let gap = (score_of[w] - score_of[c]).abs();
+                        assert!(
+                            gap < 5e-2,
+                            "{} round {round} pos {pos}: warm put {w}, cold put {c}, \
+                             but their cold scores differ by {gap}",
+                            kind.name()
+                        );
+                    }
+                }
+            }
+            let diag = fb.last_diagnostics().expect("SVM schemes report stats");
+            assert!(diag.converged, "{} did not converge", kind.name());
+            assert!(diag.iterations > 0);
+        }
+    }
+
+    #[test]
+    fn diagnostics_surface_iteration_capped_solves() {
+        let (ds, log) = setup();
+        let mut cfg = small_config();
+        cfg.coupled.smo.max_iter = 1;
+        let mut fb = FeedbackLoop::new(SchemeKind::RfSvm, cfg, 0, ds.db.len());
+        assert_eq!(fb.last_diagnostics(), None, "no rounds yet");
+        for id in 0..6 {
+            fb.mark(id, id % 2 == 0).unwrap();
+        }
+        let pool: Vec<usize> = (0..ds.db.len()).collect();
+        let _ = fb.rerank(&ds.db, &log, &pool);
+        let diag = fb.last_diagnostics().expect("trained round reports stats");
+        assert!(!diag.converged, "max_iter=1 must be surfaced: {diag:?}");
+        // Euclidean never trains: diagnostics stay empty.
+        let mut eu = FeedbackLoop::new(SchemeKind::Euclidean, small_config(), 0, ds.db.len());
+        eu.mark(0, true).unwrap();
+        let _ = eu.rerank(&ds.db, &log, &pool);
+        assert_eq!(eu.last_diagnostics(), None);
     }
 
     #[test]

@@ -81,6 +81,11 @@ pub enum Response {
         round: usize,
         /// The new top page (first `screen_size` ids of the ranking).
         page: Vec<usize>,
+        /// Whether every solve of this round reached its KKT tolerance.
+        /// `false` means some SVM hit its `max_iter` cap: the ranking is
+        /// usable but approximate (schemes that never train always report
+        /// `true`).
+        converged: bool,
     },
     /// A page of the current ranking.
     Page {
@@ -108,6 +113,10 @@ pub enum Response {
         /// Sessions flushed into the log by this service instance (closes
         /// and evictions with at least one judgment).
         flushed_sessions: usize,
+        /// Rerank rounds whose solver failed to converge (hit `max_iter`)
+        /// since this instance started — a rising counter means the
+        /// iteration budget is too small for the workload.
+        nonconverged_retrains: usize,
     },
     /// The request failed; the session (if any) is otherwise unaffected.
     Error {
@@ -245,11 +254,18 @@ mod tests {
                 log_session: None,
             },
             Response::err(ServiceError::SessionExpired { session: 4 }),
+            Response::Reranked {
+                session: 3,
+                round: 2,
+                page: vec![1, 0, 4],
+                converged: false,
+            },
             Response::Stats {
                 active_sessions: 2,
                 log_sessions: 150,
                 n_images: 2000,
                 flushed_sessions: 9,
+                nonconverged_retrains: 1,
             },
         ];
         for resp in resps {

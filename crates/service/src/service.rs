@@ -94,6 +94,7 @@ pub struct Service {
     log: SharedLogStore,
     sessions: Mutex<SessionManager<SessionState>>,
     flushed: AtomicUsize,
+    nonconverged: AtomicUsize,
     config: ServiceConfig,
 }
 
@@ -134,6 +135,7 @@ impl Service {
             log: SharedLogStore::from_store(log),
             sessions,
             flushed: AtomicUsize::new(0),
+            nonconverged: AtomicUsize::new(0),
             config,
         }
     }
@@ -261,10 +263,17 @@ impl Service {
         let pool = PooledRetrieval::new(self.index.as_ref(), self.config.pool_size).pool(&ctx);
         state.ranking = state.fb.rerank(&self.db, &snapshot, &pool);
         let page = state.ranking[..self.config.screen_size.min(state.ranking.len())].to_vec();
+        // Surface solver health: a max_iter-capped round must not pass as
+        // a silently exact one (schemes that never train report converged).
+        let converged = state.fb.last_diagnostics().is_none_or(|d| d.converged);
+        if !converged {
+            self.nonconverged.fetch_add(1, Ordering::Relaxed);
+        }
         Response::Reranked {
             session,
             round: state.fb.rounds(),
             page,
+            converged,
         }
     }
 
@@ -309,6 +318,7 @@ impl Service {
             log_sessions: self.log.n_sessions(),
             n_images: self.db.len(),
             flushed_sessions: self.flushed.load(Ordering::Relaxed),
+            nonconverged_retrains: self.nonconverged.load(Ordering::Relaxed),
         }
     }
 
@@ -724,6 +734,7 @@ mod tests {
             log_sessions,
             n_images,
             flushed_sessions,
+            nonconverged_retrains,
         } = svc.handle(Request::Stats)
         else {
             panic!("stats failed")
@@ -732,5 +743,54 @@ mod tests {
         assert_eq!(log_sessions, 20);
         assert_eq!(n_images, svc.db().len());
         assert_eq!(flushed_sessions, 0);
+        assert_eq!(nonconverged_retrains, 0);
+    }
+
+    #[test]
+    fn nonconverged_retrains_are_observable() {
+        // Starve the solver: one SMO iteration cannot reach the KKT
+        // tolerance, and the client plus the service counters must both
+        // see it rather than an apparently exact ranking.
+        let (ds, log) = dataset();
+        let mut cfg = config();
+        cfg.lrf.coupled.smo.max_iter = 1;
+        let svc = Service::new(ds.db, log, cfg);
+        let Response::Opened { session, screen } = svc.handle(Request::Open {
+            query: 5,
+            scheme: SchemeKind::RfSvm,
+        }) else {
+            panic!("open failed")
+        };
+        for &id in &screen {
+            svc.handle(Request::Mark {
+                session,
+                image: id,
+                relevant: svc.db().same_category(id, 5),
+            });
+        }
+        let Response::Reranked { converged, .. } = svc.handle(Request::Rerank { session }) else {
+            panic!("rerank failed")
+        };
+        assert!(!converged, "max_iter=1 must be reported as non-converged");
+        let Response::Stats {
+            nonconverged_retrains,
+            ..
+        } = svc.handle(Request::Stats)
+        else {
+            panic!("stats failed")
+        };
+        assert_eq!(nonconverged_retrains, 1);
+        // A scheme that never trains always reports converged.
+        let Response::Opened { session: eu, .. } = svc.handle(Request::Open {
+            query: 0,
+            scheme: SchemeKind::Euclidean,
+        }) else {
+            panic!("open failed")
+        };
+        let Response::Reranked { converged, .. } = svc.handle(Request::Rerank { session: eu })
+        else {
+            panic!("rerank failed")
+        };
+        assert!(converged);
     }
 }

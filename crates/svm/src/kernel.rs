@@ -259,6 +259,26 @@ mod tests {
     }
 
     #[test]
+    fn gram_matrix_exploits_symmetry_with_one_eval_per_pair() {
+        // The eager reference path fills K[i][j] and K[j][i] from a single
+        // kernel evaluation: exactly n(n+1)/2 calls, not n².
+        use std::cell::Cell;
+        struct CountingKernel(Cell<u64>);
+        impl Kernel<[f64]> for CountingKernel {
+            fn compute(&self, a: &[f64], b: &[f64]) -> f64 {
+                self.0.set(self.0.get() + 1);
+                dot(a, b)
+            }
+        }
+        let samples: Vec<Vec<f64>> = (0..7).map(|i| vec![i as f64, (i as f64).cos()]).collect();
+        let counting = CountingKernel(Cell::new(0));
+        let g = gram_matrix(&counting, &samples);
+        assert_eq!(counting.0.get(), 7 * 8 / 2, "one eval per unordered pair");
+        let reference = gram_matrix(&LinearKernel, &samples);
+        assert_eq!(g.as_slice(), reference.as_slice());
+    }
+
+    #[test]
     fn gram_matrix_over_borrowed_rows_matches_owned() {
         let flat: Vec<f64> = (0..12).map(|i| (i as f64 * 0.7).sin()).collect();
         let owned: Vec<Vec<f64>> = flat.chunks(3).map(<[f64]>::to_vec).collect();

@@ -12,7 +12,14 @@
 //!   matrix train and score with zero copies.
 //! * [`smo`] — the C-SVC dual solved by Sequential Minimal Optimization
 //!   with LIBSVM's second-order working-set selection, supporting an
-//!   individual upper bound `C_i` per sample.
+//!   individual upper bound `C_i` per sample, plus the LIBSVM
+//!   training-path machinery: shrinking and warm starts ([`train_warm`])
+//!   for fast per-round retraining.
+//! * [`cache`] — the lazy kernel-row LRU cache ([`KernelCache`]) the
+//!   default training path computes Gram rows through, with a byte budget
+//!   ([`SmoParams::cache_bytes`]) and hit/miss counters surfaced in
+//!   [`SolveStats`]. [`train_precomputed`] keeps the eager full-matrix
+//!   path as the bit-exact reference.
 //! * [`model`] — the trained decision function, slack extraction (needed by
 //!   the coupled SVM's label-correction loop), and degenerate single-class
 //!   handling (a feedback round can return only positives).
@@ -46,12 +53,14 @@
 //! assert!(svm.model.decision(&samples[0]) < 0.0);
 //! ```
 
+pub mod cache;
 pub mod error;
 pub mod kernel;
 pub mod model;
 pub mod smo;
 
+pub use cache::{KernelCache, KernelRows};
 pub use error::SvmError;
 pub use kernel::{gram_matrix, GramMatrix, Kernel, LinearKernel, PolyKernel, RbfKernel};
 pub use model::{ModelKind, SvmModel, TrainedSvm};
-pub use smo::{train, SmoParams, SolveStats};
+pub use smo::{train, train_precomputed, train_warm, SmoParams, SolveStats};

@@ -2,12 +2,29 @@
 //! upper bounds.
 //!
 //! This is the working-set algorithm of LIBSVM (Fan, Chen & Lin's
-//! second-order selection, "WSS 2") restricted to what this workspace
-//! needs: dense precomputed Gram matrices (problems here have at most a few
-//! hundred points) and no shrinking. The one extension over stock LIBSVM is
-//! the **individual upper bound `C_i` per sample**, which is exactly the
-//! modification the paper made to LIBSVM: labeled points keep `C`, the
-//! unlabeled transductive points get `ρ*·C` (Eq. 2/3 of the paper).
+//! second-order selection, "WSS 2") with the rest of the LIBSVM
+//! training-path machinery: a lazy kernel-row LRU cache
+//! ([`crate::KernelCache`]), **shrinking** of bounded points that satisfy
+//! their KKT conditions (with the mandatory full-gradient reconstruction
+//! check before convergence is declared, so shrinking never changes the
+//! returned model beyond `eps`), and **warm starts**
+//! ([`train_warm`]) that resume from a previous round's dual solution.
+//! The one extension over stock LIBSVM is the **individual upper bound
+//! `C_i` per sample**, which is exactly the modification the paper made to
+//! LIBSVM: labeled points keep `C`, the unlabeled transductive points get
+//! `ρ*·C` (Eq. 2/3 of the paper).
+//!
+//! Three entry points share one solver loop:
+//!
+//! * [`train`] — lazy kernel cache, shrinking per [`SmoParams`], cold
+//!   start. The default path.
+//! * [`train_warm`] — same, seeded with a previous solution whose alphas
+//!   are clipped to the new bounds and repaired onto `Σ y_i α_i = 0`.
+//! * [`train_precomputed`] — eager symmetric Gram matrix, shrinking
+//!   forced off: the bit-exact reference. With shrinking disabled the
+//!   lazy-cache path reproduces it bit for bit (cached rows are bitwise
+//!   identical to precomputed ones); with shrinking on it agrees within
+//!   `eps`.
 //!
 //! Optimality: the pair `(m(α), M(α))` of maximal KKT violations over the
 //! index sets
@@ -19,8 +36,9 @@
 //!
 //! shrinks until `m(α) − M(α) ≤ ε` (default `10⁻³`, LIBSVM's default).
 
+use crate::cache::{KernelCache, KernelRows};
 use crate::error::SvmError;
-use crate::kernel::{gram_matrix, GramMatrix, Kernel};
+use crate::kernel::{gram_matrix, Kernel};
 use crate::model::{SvmModel, TrainedSvm};
 use serde::{Deserialize, Serialize};
 use std::borrow::Borrow;
@@ -40,6 +58,17 @@ pub struct SmoParams {
     /// Alphas below this threshold are dropped from the support set when
     /// building the model.
     pub sv_threshold: f64,
+    /// Byte budget for the lazy kernel-row cache used by [`train`] /
+    /// [`train_warm`] (rounded down to whole `8n`-byte rows; at least the
+    /// two working-set rows are always kept). Ignored by
+    /// [`train_precomputed`].
+    pub cache_bytes: usize,
+    /// Enables LIBSVM-style shrinking: bounded points whose KKT conditions
+    /// hold are dropped from the working set, and the full gradient is
+    /// reconstructed for a whole-problem optimality check before
+    /// convergence is declared. Turning it off makes [`train`] bit-exact
+    /// against [`train_precomputed`].
+    pub shrinking: bool,
 }
 
 impl Default for SmoParams {
@@ -49,6 +78,8 @@ impl Default for SmoParams {
             max_iter: 100_000,
             tau: 1e-12,
             sv_threshold: 1e-9,
+            cache_bytes: 16 << 20,
+            shrinking: true,
         }
     }
 }
@@ -64,6 +95,12 @@ pub struct SolveStats {
     pub objective: f64,
     /// Number of support vectors (`α_i > sv_threshold`).
     pub n_support: usize,
+    /// Kernel-row accesses served from the lazy cache (0 on the
+    /// precomputed path).
+    pub cache_hits: u64,
+    /// Kernel-row accesses that computed the row, including recomputes
+    /// after eviction (0 on the precomputed path).
+    pub cache_misses: u64,
 }
 
 /// Trains a C-SVC with per-sample upper bounds.
@@ -78,6 +115,12 @@ pub struct SolveStats {
 ///
 /// Returns a [`TrainedSvm`] bundling the decision model, the full dual
 /// solution, and solver statistics.
+///
+/// Kernel rows are computed lazily through a [`KernelCache`] sized by
+/// [`SmoParams::cache_bytes`], and shrinking is applied per
+/// [`SmoParams::shrinking`]; see [`train_precomputed`] for the eager
+/// bit-exact reference path, and [`train_warm`] to seed the solver with a
+/// previous round's solution.
 ///
 /// **Degenerate input:** when every label has the same sign the dual forces
 /// `α = 0` and the margin is meaningless; the returned model is a constant
@@ -95,27 +138,82 @@ where
     B: Borrow<S>,
     K: Kernel<S>,
 {
-    validate(samples.len(), labels, upper_bounds)?;
+    train_warm(samples, labels, upper_bounds, kernel, params, None)
+}
 
-    let n = samples.len();
-    let has_pos = labels.iter().any(|&y| y > 0.0);
-    let has_neg = labels.iter().any(|&y| y < 0.0);
-    if !has_pos || !has_neg {
-        let sign = if has_pos { 1.0 } else { -1.0 };
-        let model = SvmModel::constant(kernel, sign);
-        return Ok(TrainedSvm {
-            model,
-            alpha: vec![0.0; n],
-            stats: SolveStats {
-                iterations: 0,
-                converged: true,
-                objective: 0.0,
-                n_support: 0,
-            },
-        });
+/// [`train`], optionally seeded with a previous dual solution.
+///
+/// `warm` is a prior `alpha` vector (e.g. [`TrainedSvm::alpha`] from the
+/// previous feedback round). It may be shorter than `samples` — feedback
+/// rounds append newly labeled points, so entry `i` of the warm vector is
+/// taken to correspond to sample `i` and any tail of new samples starts at
+/// `α = 0`. Before iterating, the seed is made feasible for the *new*
+/// problem: each `α_i` is clipped into `[0, C_i]` (bounds change when
+/// `ρ*` anneals) and the equality constraint `Σ y_i α_i = 0` is repaired
+/// by deterministically draining the surplus side in index order. A warm
+/// start therefore never affects *what* the solver converges to (the
+/// stopping criterion is unchanged), only how many iterations it takes;
+/// `warm = None` or an all-zero seed reproduces the cold path bit for bit.
+pub fn train_warm<S, B, K>(
+    samples: &[B],
+    labels: &[f64],
+    upper_bounds: &[f64],
+    kernel: K,
+    params: &SmoParams,
+    warm: Option<&[f64]>,
+) -> Result<TrainedSvm<S, K>, SvmError>
+where
+    S: ?Sized + ToOwned,
+    B: Borrow<S>,
+    K: Kernel<S>,
+{
+    validate(samples.len(), labels, upper_bounds)?;
+    if let Some(sign) = single_class_sign(labels) {
+        return Ok(constant_model(samples.len(), sign, kernel));
     }
 
-    let k = gram_matrix::<S, B, K>(&kernel, samples);
+    let mut cache = KernelCache::new(&kernel, samples, params.cache_bytes)?;
+    let sol = solve_dual(&mut cache, labels, upper_bounds, params, warm);
+    let (cache_hits, cache_misses) = cache.cache_stats();
+    drop(cache);
+    Ok(finish_model(
+        samples,
+        labels,
+        kernel,
+        params,
+        sol,
+        cache_hits,
+        cache_misses,
+    ))
+}
+
+/// Trains over an eagerly precomputed Gram matrix with shrinking forced
+/// off — the bit-exact reference the lazy-cache path is validated
+/// against. The full matrix is scanned for non-finite entries up front
+/// (the lazy path checks the kernel diagonal instead, which the dense and
+/// sparse kernels here poison on any NaN/∞ sample).
+///
+/// Warm starts are deliberately not offered here: the reference is the
+/// deterministic from-zero solve.
+pub fn train_precomputed<S, B, K>(
+    samples: &[B],
+    labels: &[f64],
+    upper_bounds: &[f64],
+    kernel: K,
+    params: &SmoParams,
+) -> Result<TrainedSvm<S, K>, SvmError>
+where
+    S: ?Sized + ToOwned,
+    B: Borrow<S>,
+    K: Kernel<S>,
+{
+    validate(samples.len(), labels, upper_bounds)?;
+    if let Some(sign) = single_class_sign(labels) {
+        return Ok(constant_model(samples.len(), sign, kernel));
+    }
+
+    let n = samples.len();
+    let mut k = gram_matrix::<S, B, K>(&kernel, samples);
     for (idx, &v) in k.as_slice().iter().enumerate() {
         if !v.is_finite() {
             return Err(SvmError::NonFiniteKernel {
@@ -125,46 +223,86 @@ where
         }
     }
 
-    let (alpha, rho, iterations, converged) = solve_dual(&k, labels, upper_bounds, params);
+    let reference_params = SmoParams {
+        shrinking: false,
+        ..*params
+    };
+    let sol = solve_dual(&mut k, labels, upper_bounds, &reference_params, None);
+    Ok(finish_model(samples, labels, kernel, params, sol, 0, 0))
+}
 
-    // Dual objective ½αᵀQα − eᵀα with Q_ij = y_i y_j K_ij.
-    let mut objective = 0.0;
-    for i in 0..n {
-        if alpha[i] == 0.0 {
-            continue;
-        }
-        let ki = k.row(i);
-        for j in 0..n {
-            if alpha[j] != 0.0 {
-                objective += 0.5 * alpha[i] * alpha[j] * labels[i] * labels[j] * ki[j];
-            }
-        }
-        objective -= alpha[i];
+/// Detects the single-class degenerate case shared by every entry point,
+/// returning the constant decision sign when only one label is present.
+fn single_class_sign(labels: &[f64]) -> Option<f64> {
+    let has_pos = labels.iter().any(|&y| y > 0.0);
+    let has_neg = labels.iter().any(|&y| y < 0.0);
+    if has_pos && has_neg {
+        None
+    } else {
+        Some(if has_pos { 1.0 } else { -1.0 })
     }
+}
 
-    // Build the sparse model: keep only true support vectors (the sole
-    // copies made of any training data).
+/// The degenerate single-class result: a constant decision model with an
+/// all-zero dual solution.
+fn constant_model<S, K>(n: usize, sign: f64, kernel: K) -> TrainedSvm<S, K>
+where
+    S: ?Sized + ToOwned,
+    K: Kernel<S>,
+{
+    TrainedSvm {
+        model: SvmModel::constant(kernel, sign),
+        alpha: vec![0.0; n],
+        stats: SolveStats {
+            iterations: 0,
+            converged: true,
+            objective: 0.0,
+            n_support: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+        },
+    }
+}
+
+/// Builds the sparse model and stats bundle from a dual solution.
+fn finish_model<S, B, K>(
+    samples: &[B],
+    labels: &[f64],
+    kernel: K,
+    params: &SmoParams,
+    sol: DualSolution,
+    cache_hits: u64,
+    cache_misses: u64,
+) -> TrainedSvm<S, K>
+where
+    S: ?Sized + ToOwned,
+    B: Borrow<S>,
+    K: Kernel<S>,
+{
+    // Keep only true support vectors (the sole copies made of any
+    // training data).
     let mut support_vectors = Vec::new();
     let mut coefficients = Vec::new();
-    for i in 0..n {
-        if alpha[i] > params.sv_threshold {
+    for (i, &a) in sol.alpha.iter().enumerate() {
+        if a > params.sv_threshold {
             support_vectors.push(samples[i].borrow().to_owned());
-            coefficients.push(alpha[i] * labels[i]);
+            coefficients.push(a * labels[i]);
         }
     }
     let n_support = support_vectors.len();
-    let model = SvmModel::new(kernel, support_vectors, coefficients, -rho);
-
-    Ok(TrainedSvm {
+    let model = SvmModel::new(kernel, support_vectors, coefficients, -sol.rho);
+    TrainedSvm {
         model,
-        alpha,
+        alpha: sol.alpha,
         stats: SolveStats {
-            iterations,
-            converged,
-            objective,
+            iterations: sol.iterations,
+            converged: sol.converged,
+            objective: sol.objective,
             n_support,
+            cache_hits,
+            cache_misses,
         },
-    })
+    }
 }
 
 fn validate(n_samples: usize, labels: &[f64], bounds: &[f64]) -> Result<(), SvmError> {
@@ -191,27 +329,168 @@ fn validate(n_samples: usize, labels: &[f64], bounds: &[f64]) -> Result<(), SvmE
     Ok(())
 }
 
-/// Core SMO loop over a precomputed flat Gram matrix. Returns
-/// `(alpha, rho, iterations, converged)` where the decision function is
+/// Everything [`solve_dual`] hands back to the model builders.
+struct DualSolution {
+    alpha: Vec<f64>,
+    rho: f64,
+    objective: f64,
+    iterations: usize,
+    converged: bool,
+}
+
+/// Clips a warm-start seed into the new box `[0, C_i]` and repairs the
+/// equality constraint `Σ y_i α_i = 0` by draining the surplus side in
+/// deterministic index order. Non-finite seed entries and any tail beyond
+/// the seed's length start at zero.
+fn clip_and_repair(warm: &[f64], y: &[f64], c: &[f64]) -> Vec<f64> {
+    let n = y.len();
+    let mut a = vec![0.0f64; n];
+    for i in 0..n.min(warm.len()) {
+        let v = warm[i];
+        if v.is_finite() {
+            a[i] = v.clamp(0.0, c[i]);
+        }
+    }
+    let mut surplus: f64 = a.iter().zip(y).map(|(ai, yi)| ai * yi).sum();
+    for i in 0..n {
+        if surplus == 0.0 {
+            break;
+        }
+        if surplus > 0.0 && y[i] > 0.0 && a[i] > 0.0 {
+            let d = a[i].min(surplus);
+            a[i] -= d;
+            surplus -= d;
+        } else if surplus < 0.0 && y[i] < 0.0 && a[i] > 0.0 {
+            let d = a[i].min(-surplus);
+            a[i] -= d;
+            surplus += d;
+        }
+    }
+    a
+}
+
+/// `G_i = Σ_j Q_ij α_j − 1` computed from scratch for every index whose
+/// `mask` entry is false (pass an all-false mask to initialize a
+/// warm-started gradient). Rows are only touched for nonzero alphas.
+fn recompute_gradient<Q: KernelRows>(
+    q: &mut Q,
+    y: &[f64],
+    alpha: &[f64],
+    g: &mut [f64],
+    skip: &[bool],
+) {
+    let n = y.len();
+    for t in 0..n {
+        if !skip[t] {
+            g[t] = -1.0;
+        }
+    }
+    for j in 0..n {
+        if alpha[j] != 0.0 {
+            let coef = alpha[j] * y[j];
+            let kj = q.row(j);
+            for t in 0..n {
+                if !skip[t] {
+                    g[t] += y[t] * coef * kj[t];
+                }
+            }
+        }
+    }
+}
+
+/// LIBSVM's `be_shrunk`: a bounded point may leave the active set when its
+/// KKT condition holds with slack against the current violation maxima.
+fn be_shrunk(
+    t: usize,
+    y: &[f64],
+    c: &[f64],
+    alpha: &[f64],
+    g: &[f64],
+    gmax1: f64,
+    gmax2: f64,
+) -> bool {
+    if alpha[t] >= c[t] {
+        if y[t] > 0.0 {
+            -g[t] > gmax1
+        } else {
+            -g[t] > gmax2
+        }
+    } else if alpha[t] <= 0.0 {
+        if y[t] > 0.0 {
+            g[t] > gmax2
+        } else {
+            g[t] > gmax1
+        }
+    } else {
+        false
+    }
+}
+
+/// Core SMO loop over any [`KernelRows`] provider (lazy cache or
+/// precomputed matrix). The decision function of the returned solution is
 /// `f(x) = Σ α_i y_i K(x_i, x) − rho`.
-fn solve_dual(
-    k: &GramMatrix,
+fn solve_dual<Q: KernelRows>(
+    q: &mut Q,
     y: &[f64],
     c: &[f64],
     params: &SmoParams,
-) -> (Vec<f64>, f64, usize, bool) {
+    warm: Option<&[f64]>,
+) -> DualSolution {
     let n = y.len();
-    let mut alpha = vec![0.0f64; n];
-    // Gradient of the dual objective: G_i = Σ_j Q_ij α_j − 1; at α = 0 this
-    // is simply −1 everywhere.
-    let mut g = vec![-1.0f64; n];
+    let qd: Vec<f64> = (0..n).map(|i| q.diag(i)).collect();
 
-    let mut iterations = 0;
+    let mut alpha;
+    let mut g = vec![-1.0f64; n];
+    match warm {
+        Some(w) => {
+            alpha = clip_and_repair(w, y, c);
+            let none_skipped = vec![false; n];
+            recompute_gradient(q, y, &alpha, &mut g, &none_skipped);
+        }
+        None => alpha = vec![0.0f64; n],
+    }
+
+    // Active-set bookkeeping for shrinking. `active` stays sorted
+    // ascending so that, with shrinking disabled, every loop below visits
+    // indices in exactly the order of the reference implementation.
+    let mut active: Vec<usize> = (0..n).collect();
+    let mut unshrunk = false;
+    let mut counter = n.min(1000) + 1;
+
+    let mut iterations = 0usize;
     let mut converged = false;
     while iterations < params.max_iter {
-        let Some((i, j)) = select_working_set(k, y, c, &alpha, &g, params) else {
-            converged = true;
-            break;
+        counter -= 1;
+        if counter == 0 {
+            counter = n.min(1000);
+            if params.shrinking {
+                do_shrinking(q, y, c, &alpha, &mut g, &mut active, &mut unshrunk, params);
+            }
+        }
+
+        let (i, j) = match select_working_set(q, &qd, y, c, &alpha, &g, &active, params) {
+            Some(pair) => pair,
+            None => {
+                if active.len() == n {
+                    converged = true;
+                    break;
+                }
+                // Optimal on the shrunk set only: reconstruct the full
+                // gradient and re-check optimality over the whole problem
+                // before declaring convergence.
+                reconstruct_gradient(q, y, &alpha, &mut g, &active);
+                active = (0..n).collect();
+                match select_working_set(q, &qd, y, c, &alpha, &g, &active, params) {
+                    Some(pair) => {
+                        counter = 1; // shrink again on the next iteration
+                        pair
+                    }
+                    None => {
+                        converged = true;
+                        break;
+                    }
+                }
+            }
         };
         iterations += 1;
 
@@ -220,11 +499,13 @@ fn solve_dual(
         let ci = c[i];
         let cj = c[j];
 
+        let (ki, kj) = q.pair(i, j);
+
         // In both branches the curvature along the update direction is
         // ‖φ(x_i) − φ(x_j)‖² = K_ii + K_jj − 2K_ij (LIBSVM writes it as
         // QD[i] + QD[j] ± 2Q_ij because Q already carries y_i y_j).
         if y[i] != y[j] {
-            let mut quad = k.at(i, i) + k.at(j, j) - 2.0 * k.at(i, j);
+            let mut quad = qd[i] + qd[j] - 2.0 * ki[j];
             if quad <= 0.0 {
                 quad = params.tau;
             }
@@ -252,7 +533,7 @@ fn solve_dual(
                 alpha[i] = cj + diff;
             }
         } else {
-            let mut quad = k.at(i, i) + k.at(j, j) - 2.0 * k.at(i, j);
+            let mut quad = qd[i] + qd[j] - 2.0 * ki[j];
             if quad <= 0.0 {
                 quad = params.tau;
             }
@@ -282,40 +563,128 @@ fn solve_dual(
         }
 
         // Incremental gradient update: G_t += Q_ti Δα_i + Q_tj Δα_j. The
-        // flat layout makes this the linear scan of two contiguous rows.
+        // flat row layout makes this the linear scan of two contiguous
+        // rows, restricted to the active set (shrunk gradients are
+        // reconstructed on demand).
         let dai = alpha[i] - old_ai;
         let daj = alpha[j] - old_aj;
         if dai != 0.0 || daj != 0.0 {
             let yi = y[i];
             let yj = y[j];
-            let ki = k.row(i);
-            let kj = k.row(j);
-            for t in 0..n {
+            for &t in &active {
                 g[t] += y[t] * (yi * ki[t] * dai + yj * kj[t] * daj);
             }
         }
     }
 
+    // Every exit path needs the exact gradient everywhere: rho averages
+    // y_t G_t and the objective uses the identity below.
+    if active.len() < n {
+        reconstruct_gradient(q, y, &alpha, &mut g, &active);
+    }
     let rho = calculate_rho(y, c, &alpha, &g);
-    (alpha, rho, iterations, converged)
+
+    // ½αᵀQα − eᵀα = ½ Σ_i α_i (G_i − 1), since G = Qα − e.
+    let mut objective = 0.0;
+    for t in 0..n {
+        objective += 0.5 * alpha[t] * (g[t] - 1.0);
+    }
+
+    DualSolution {
+        alpha,
+        rho,
+        objective,
+        iterations,
+        converged,
+    }
 }
 
-/// LIBSVM's second-order working-set selection. Returns `None` when the
-/// KKT gap is within tolerance (optimal).
-fn select_working_set(
-    k: &GramMatrix,
+/// Recomputes the gradient of every *inactive* index from scratch (the
+/// incremental updates skip them while they are shrunk).
+fn reconstruct_gradient<Q: KernelRows>(
+    q: &mut Q,
+    y: &[f64],
+    alpha: &[f64],
+    g: &mut [f64],
+    active: &[usize],
+) {
+    let n = y.len();
+    if active.len() == n {
+        return;
+    }
+    let mut is_active = vec![false; n];
+    for &t in active {
+        is_active[t] = true;
+    }
+    recompute_gradient(q, y, alpha, g, &is_active);
+}
+
+/// LIBSVM's `do_shrinking`: drop bounded-and-satisfied points from the
+/// active set; once the violation gap falls within `10·eps`, unshrink
+/// everything (reconstructing the gradient) so the endgame runs on the
+/// full problem.
+#[allow(clippy::too_many_arguments)]
+fn do_shrinking<Q: KernelRows>(
+    q: &mut Q,
+    y: &[f64],
+    c: &[f64],
+    alpha: &[f64],
+    g: &mut [f64],
+    active: &mut Vec<usize>,
+    unshrunk: &mut bool,
+    params: &SmoParams,
+) {
+    let n = y.len();
+    // Violation maxima over the active set: gmax1 = m(α), gmax2 = −M(α).
+    let mut gmax1 = f64::NEG_INFINITY;
+    let mut gmax2 = f64::NEG_INFINITY;
+    for &t in active.iter() {
+        let in_i_up = if y[t] > 0.0 {
+            alpha[t] < c[t]
+        } else {
+            alpha[t] > 0.0
+        };
+        if in_i_up {
+            gmax1 = gmax1.max(-y[t] * g[t]);
+        }
+        let in_i_low = if y[t] > 0.0 {
+            alpha[t] > 0.0
+        } else {
+            alpha[t] < c[t]
+        };
+        if in_i_low {
+            gmax2 = gmax2.max(y[t] * g[t]);
+        }
+    }
+
+    if !*unshrunk && gmax1 + gmax2 <= params.eps * 10.0 {
+        *unshrunk = true;
+        reconstruct_gradient(q, y, alpha, g, active);
+        *active = (0..n).collect();
+    }
+
+    active.retain(|&t| !be_shrunk(t, y, c, alpha, g, gmax1, gmax2));
+}
+
+/// LIBSVM's second-order working-set selection, restricted to the active
+/// set. Returns `None` when the KKT gap over the active set is within
+/// tolerance (optimal there — the caller decides whether that means the
+/// whole problem is optimal).
+#[allow(clippy::too_many_arguments)]
+fn select_working_set<Q: KernelRows>(
+    q: &mut Q,
+    qd: &[f64],
     y: &[f64],
     c: &[f64],
     alpha: &[f64],
     g: &[f64],
+    active: &[usize],
     params: &SmoParams,
 ) -> Option<(usize, usize)> {
-    let n = y.len();
-
     // i = argmax_{t ∈ I_up} −y_t G_t
     let mut gmax = f64::NEG_INFINITY;
     let mut i: isize = -1;
-    for t in 0..n {
+    for &t in active {
         let in_i_up = if y[t] > 0.0 {
             alpha[t] < c[t]
         } else {
@@ -335,12 +704,12 @@ fn select_working_set(
     let i = i as usize;
 
     // j = argmin over violating t ∈ I_low of the second-order gain.
-    let ki = k.row(i);
-    let kii = ki[i];
+    let kii = qd[i];
+    let ki = q.row(i);
     let mut gmax2 = f64::NEG_INFINITY; // max_{I_low} y_t G_t  (= −M(α))
     let mut j: isize = -1;
     let mut obj_min = f64::INFINITY;
-    for t in 0..n {
+    for &t in active {
         let in_i_low = if y[t] > 0.0 {
             alpha[t] > 0.0
         } else {
@@ -357,7 +726,7 @@ fn select_working_set(
         if grad_diff > 0.0 {
             // Second-order curvature along the (i, t) direction is
             // ‖φ(x_i) − φ(x_t)‖² regardless of the label combination.
-            let mut quad = kii + k.at(t, t) - 2.0 * ki[t];
+            let mut quad = kii + qd[t] - 2.0 * ki[t];
             if quad <= 0.0 {
                 quad = params.tau;
             }
@@ -460,6 +829,23 @@ mod tests {
         worst
     }
 
+    /// A reproducible two-cluster Gaussian problem used by the new
+    /// equivalence tests.
+    fn gaussian_problem(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut samples = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let y = if i % 2 == 0 { 1.0 } else { -1.0 };
+            samples.push(vec![
+                y * 0.8 + rng.gen_range(-1.5..1.5),
+                rng.gen_range(-1.0..1.0),
+            ]);
+            labels.push(y);
+        }
+        (samples, labels)
+    }
+
     #[test]
     fn two_point_problem_has_known_solution() {
         // x = −1 (y=−1), x = +1 (y=+1), linear kernel, large C:
@@ -496,6 +882,175 @@ mod tests {
         assert_eq!(a.model.support_vectors(), b.model.support_vectors());
         let probe = [0.3, -0.3];
         assert_eq!(a.model.decision(&probe), b.model.decision(&probe));
+    }
+
+    #[test]
+    fn cached_path_matches_precomputed_bit_exactly() {
+        // With shrinking off, the lazy-cache solver must reproduce the
+        // eager-Gram reference bit for bit — same iterates, same alphas,
+        // same bias — even under heavy eviction pressure.
+        let (samples, labels) = gaussian_problem(40, 11);
+        let bounds = vec![3.0; samples.len()];
+        let kernel = RbfKernel::new(0.7);
+        let reference =
+            train_precomputed(&samples, &labels, &bounds, kernel, &default_params()).unwrap();
+        for cache_bytes in [usize::MAX, 16 << 20, 0] {
+            let params = SmoParams {
+                shrinking: false,
+                cache_bytes,
+                ..SmoParams::default()
+            };
+            let cached = train(&samples, &labels, &bounds, kernel, &params).unwrap();
+            assert_eq!(cached.alpha, reference.alpha, "cache_bytes {cache_bytes}");
+            assert_eq!(cached.model.bias(), reference.model.bias());
+            assert_eq!(cached.stats.iterations, reference.stats.iterations);
+            assert_eq!(cached.stats.objective, reference.stats.objective);
+            assert!(cached.stats.cache_misses > 0);
+        }
+    }
+
+    #[test]
+    fn shrinking_agrees_with_reference_within_eps() {
+        let (samples, labels) = gaussian_problem(60, 5);
+        let bounds = vec![5.0; samples.len()];
+        let kernel = RbfKernel::new(0.6);
+        let params = default_params();
+        assert!(params.shrinking, "shrinking is the default");
+        let shrunk = train(&samples, &labels, &bounds, kernel, &params).unwrap();
+        let reference = train_precomputed(&samples, &labels, &bounds, kernel, &params).unwrap();
+        assert!(shrunk.stats.converged);
+        // Shrinking must not change the model beyond the solver tolerance:
+        // both solutions satisfy the same eps-KKT conditions, so their
+        // decisions agree to that order.
+        for s in &samples {
+            let d = (shrunk.model.decision(s) - reference.model.decision(s)).abs();
+            assert!(d < 1e-2, "decision drift {d}");
+        }
+        let viol = kkt_violation(&samples, &labels, &bounds, &kernel, &shrunk);
+        assert!(viol < 5e-3, "KKT violation {viol} with shrinking on");
+    }
+
+    #[test]
+    fn warm_start_from_exact_solution_converges_immediately() {
+        let (samples, labels) = gaussian_problem(30, 7);
+        let bounds = vec![2.0; samples.len()];
+        let kernel = RbfKernel::new(0.8);
+        let params = default_params();
+        let cold = train(&samples, &labels, &bounds, kernel, &params).unwrap();
+        let warm = train_warm(
+            &samples,
+            &labels,
+            &bounds,
+            kernel,
+            &params,
+            Some(&cold.alpha),
+        )
+        .unwrap();
+        assert!(warm.stats.converged);
+        // The recomputed warm gradient rounds the KKT gap slightly
+        // differently than the incremental one, so allow a touch-up
+        // update or two — against hundreds for the cold solve.
+        assert!(
+            warm.stats.iterations <= 2,
+            "re-solving from the optimum took {} updates (cold took {})",
+            warm.stats.iterations,
+            cold.stats.iterations
+        );
+        assert!(
+            cold.stats.iterations > 10,
+            "cold baseline should be nontrivial"
+        );
+        for s in &samples {
+            let d = (warm.model.decision(s) - cold.model.decision(s)).abs();
+            assert!(d < 1e-9, "decision drift {d}");
+        }
+    }
+
+    #[test]
+    fn warm_start_equivalence_from_perturbed_and_stale_seeds() {
+        // A warm start changes where the solver starts, never where it
+        // stops: from a perturbed/previous-round solution it must reach
+        // the same eps-optimal model as the cold solve.
+        let (samples, labels) = gaussian_problem(36, 21);
+        let bounds = vec![4.0; samples.len()];
+        let kernel = RbfKernel::new(0.5);
+        let params = default_params();
+        let cold = train(&samples, &labels, &bounds, kernel, &params).unwrap();
+
+        // Previous-round seed: the solution of the problem minus its last
+        // four points (shorter than n — the tail starts at zero).
+        let prev = train(
+            &samples[..samples.len() - 4],
+            &labels[..labels.len() - 4],
+            &bounds[..bounds.len() - 4],
+            kernel,
+            &params,
+        )
+        .unwrap();
+        // Perturbed seed: infeasible on purpose (out of box, NaN entry).
+        let mut perturbed = cold.alpha.clone();
+        for (i, v) in perturbed.iter_mut().enumerate() {
+            *v += [(0.7, 1.0), (-2.0, 0.3)][i % 2].0 * [(0.7, 1.0), (-2.0, 0.3)][i % 2].1;
+        }
+        perturbed[0] = f64::NAN;
+
+        for seed in [prev.alpha.as_slice(), perturbed.as_slice()] {
+            let warm = train_warm(&samples, &labels, &bounds, kernel, &params, Some(seed)).unwrap();
+            assert!(warm.stats.converged);
+            let viol = kkt_violation(&samples, &labels, &bounds, &kernel, &warm);
+            assert!(viol < 1e-2, "warm KKT violation {viol}");
+            for s in &samples {
+                let d = (warm.model.decision(s) - cold.model.decision(s)).abs();
+                assert!(d < 2e-2, "decision drift {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn warm_zero_seed_reproduces_cold_path_bit_for_bit() {
+        let (samples, labels) = gaussian_problem(24, 3);
+        let bounds = vec![1.5; samples.len()];
+        let kernel = RbfKernel::new(1.0);
+        let params = default_params();
+        let cold = train(&samples, &labels, &bounds, kernel, &params).unwrap();
+        let zeros = vec![0.0; samples.len()];
+        let warm = train_warm(&samples, &labels, &bounds, kernel, &params, Some(&zeros)).unwrap();
+        assert_eq!(cold.alpha, warm.alpha);
+        assert_eq!(cold.stats.iterations, warm.stats.iterations);
+        assert_eq!(cold.model.bias(), warm.model.bias());
+    }
+
+    #[test]
+    fn cache_counters_surface_in_stats() {
+        let (samples, labels) = gaussian_problem(20, 9);
+        let bounds = vec![2.0; samples.len()];
+        let svm = train(
+            &samples,
+            &labels,
+            &bounds,
+            RbfKernel::new(0.9),
+            &default_params(),
+        )
+        .unwrap();
+        assert!(svm.stats.cache_misses > 0, "some rows must be computed");
+        assert!(
+            svm.stats.cache_misses <= samples.len() as u64,
+            "default budget holds every row — no recomputes"
+        );
+        assert!(
+            svm.stats.cache_hits > 0,
+            "rows are revisited across iterations"
+        );
+        let reference = train_precomputed(
+            &samples,
+            &labels,
+            &bounds,
+            RbfKernel::new(0.9),
+            &default_params(),
+        )
+        .unwrap();
+        assert_eq!(reference.stats.cache_hits, 0);
+        assert_eq!(reference.stats.cache_misses, 0);
     }
 
     #[test]
@@ -598,15 +1153,27 @@ mod tests {
     #[test]
     fn nan_sample_is_reported() {
         let s = vec![vec![f64::NAN], vec![1.0]];
-        let err = train(
-            &s,
-            &[-1.0, 1.0],
-            &[1.0, 1.0],
-            LinearKernel,
-            &default_params(),
-        )
-        .unwrap_err();
-        assert!(matches!(err, SvmError::NonFiniteKernel { .. }));
+        for result in [
+            train(
+                &s,
+                &[-1.0, 1.0],
+                &[1.0, 1.0],
+                LinearKernel,
+                &default_params(),
+            ),
+            train_precomputed(
+                &s,
+                &[-1.0, 1.0],
+                &[1.0, 1.0],
+                LinearKernel,
+                &default_params(),
+            ),
+        ] {
+            assert!(matches!(
+                result.unwrap_err(),
+                SvmError::NonFiniteKernel { .. }
+            ));
+        }
     }
 
     #[test]
@@ -705,11 +1272,30 @@ mod tests {
         assert!(large.stats.objective <= small.stats.objective + 1e-9);
     }
 
+    #[test]
+    fn clip_and_repair_restores_feasibility() {
+        let y = [1.0, -1.0, 1.0, -1.0];
+        let c = [1.0, 1.0, 1.0, 1.0];
+        // Out-of-box, unbalanced, with a NaN: must come back feasible.
+        let seed = [5.0, 0.25, f64::NAN, -3.0];
+        let a = clip_and_repair(&seed, &y, &c);
+        let balance: f64 = a.iter().zip(&y).map(|(ai, yi)| ai * yi).sum();
+        assert!(balance.abs() < 1e-12, "balance {balance}");
+        for (i, &v) in a.iter().enumerate() {
+            assert!((0.0..=c[i]).contains(&v), "a[{i}]={v}");
+        }
+        // A shorter-than-n seed leaves the tail at zero.
+        let short = clip_and_repair(&[0.5], &y, &c);
+        assert_eq!(&short[1..], &[0.0, 0.0, 0.0]);
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
 
         /// On random binary problems, the SMO solution satisfies all KKT
         /// conditions (checked independently of the solver internals).
+        /// `SmoParams::default()` turns shrinking and the lazy cache on, so
+        /// this exercises the full new training path.
         #[test]
         fn random_problems_satisfy_kkt(
             seed in 0u64..500,
@@ -759,6 +1345,36 @@ mod tests {
             for (a, c) in svm.alpha.iter().zip(&bounds) {
                 prop_assert!(*a >= -1e-12 && *a <= c + 1e-12);
             }
+        }
+
+        /// Warm starting from any (even garbage) seed reaches an
+        /// eps-optimal model: the stopping criterion is independent of the
+        /// starting point.
+        #[test]
+        fn warm_start_always_reaches_optimality(
+            seed in 0u64..200,
+            n_half in 3usize..8,
+            scale in -5.0f64..5.0,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut samples = Vec::new();
+            let mut labels = Vec::new();
+            for _ in 0..n_half {
+                samples.push(vec![rng.gen_range(-2.0..0.5), rng.gen_range(-1.0..1.0)]);
+                labels.push(-1.0);
+                samples.push(vec![rng.gen_range(-0.5..2.0), rng.gen_range(-1.0..1.0)]);
+                labels.push(1.0);
+            }
+            let bounds = vec![2.0; samples.len()];
+            let kernel = RbfKernel::new(0.7);
+            let warm_seed: Vec<f64> =
+                (0..samples.len()).map(|i| scale * (i as f64 * 0.71).sin()).collect();
+            let svm = train_warm(
+                &samples, &labels, &bounds, kernel, &default_params(), Some(&warm_seed),
+            ).unwrap();
+            prop_assert!(svm.stats.converged);
+            let viol = kkt_violation(&samples, &labels, &bounds, &kernel, &svm);
+            prop_assert!(viol < 1e-2, "KKT violation {viol}");
         }
     }
 }

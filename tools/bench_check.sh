@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
 # Bench regression gate: runs the quick-mode perf benches and fails if the
-# parallel paths lost to their serial baselines on a multi-core runner.
+# optimized paths lost to their baselines on a multi-core runner.
 #
 #   svm_score           serial decision loop  vs  decision_batch_rows
 #   service_throughput  N sessions one-by-one vs  N sessions on N threads
+#   svm_train/round     cold retrain          vs  warm-started retrain
+#   svm_train/gram      eager Gram precompute vs  lazy kernel-row cache
 #
 # On a single-core machine the parallel paths fall back to (or degenerate
 # into) the serial ones, so the gate only *reports* there — the comparison
-# is enforced when `nproc > 1` (the CI bench job). Parsed numbers are
+# is enforced when `nproc > 1` (the CI bench job). The training-path
+# checks additionally require the warm round to actually be faster than
+# the cold one by the margin, not merely no slower. Parsed numbers are
 # written to bench-results/BENCH_ci.json as a workflow artifact, in the
 # same shape as BENCH_scoring.json's "runs" entries.
 #
@@ -31,6 +35,7 @@ echo "bench_check: running quick-mode benches on ${CORES} core(s)"
 : > "$RAW"
 BENCH_QUICK=1 cargo bench -p lrf-bench --bench svm_score | tee -a "$RAW"
 BENCH_QUICK=1 cargo bench -p lrf-bench --bench service_throughput | tee -a "$RAW"
+BENCH_QUICK=1 cargo bench -p lrf-bench --bench svm_train | tee -a "$RAW"
 
 # Lines look like:  bench svm_score/nsv8/serial/2000   344,467 ns/iter
 # The harness prints "123.4" below 1e3, comma-grouped integers below 1e9,
@@ -74,10 +79,41 @@ check_pair() { # check_pair <label> <serial_name> <parallel_name>
     { \"check\": \"${label}\", \"serial_ns\": ${serial_ns}, \"parallel_ns\": ${parallel_ns}, \"speedup\": ${speedup}, \"verdict\": \"${verdict}\" }"
 }
 
-# Quick mode pins svm_score to N=2000 and service_throughput to 4 sessions.
+check_faster() { # check_faster <label> <baseline_name> <optimized_name>
+    # Stricter than check_pair: the optimized path must beat the baseline
+    # by at least MARGIN_PCT on a multi-core runner (a warm start that is
+    # merely "no slower" means the seeding is broken).
+    local label="$1" baseline_name="$2" optimized_name="$3"
+    local baseline_ns optimized_ns verdict
+    baseline_ns="$(lookup "$baseline_name")"
+    optimized_ns="$(lookup "$optimized_name")"
+    if [ -z "$baseline_ns" ] || [ -z "$optimized_ns" ]; then
+        echo "bench_check: FAIL ${label}: missing bench output (${baseline_name}=${baseline_ns:-?} ${optimized_name}=${optimized_ns:-?})"
+        fail=1
+        return
+    fi
+    local limit=$(( baseline_ns - baseline_ns * MARGIN_PCT / 100 ))
+    local speedup
+    speedup="$(awk -v s="$baseline_ns" -v p="$optimized_ns" 'BEGIN { printf "%.2f", s / p }')"
+    if [ "$CORES" -gt 1 ] && [ "$optimized_ns" -gt "$limit" ]; then
+        verdict="fail"
+        fail=1
+        echo "bench_check: FAIL ${label}: optimized ${optimized_ns} ns not ${MARGIN_PCT}% under baseline ${baseline_ns} ns on ${CORES} cores"
+    else
+        verdict="ok"
+        echo "bench_check: ok   ${label}: baseline ${baseline_ns} ns, optimized ${optimized_ns} ns (speedup ${speedup}x)"
+    fi
+    checks_json="${checks_json}${checks_json:+,}
+    { \"check\": \"${label}\", \"serial_ns\": ${baseline_ns}, \"parallel_ns\": ${optimized_ns}, \"speedup\": ${speedup}, \"verdict\": \"${verdict}\" }"
+}
+
+# Quick mode pins svm_score to N=2000, service_throughput to 4 sessions,
+# and svm_train to round N=120 / gram N=240.
 check_pair "svm_score/nsv8/n2000" "svm_score/nsv8/serial/2000" "svm_score/nsv8/batch/2000"
 check_pair "svm_score/nsv64/n2000" "svm_score/nsv64/serial/2000" "svm_score/nsv64/batch/2000"
 check_pair "service_throughput/4sessions" "service_throughput/serial/4" "service_throughput/concurrent/4"
+check_faster "svm_train/round_warm_vs_cold" "svm_train/round/cold/120" "svm_train/round/warm/120"
+check_pair "svm_train/gram_cached_vs_precomputed" "svm_train/gram/precomputed/240" "svm_train/gram/cached/240"
 
 enforced=$([ "$CORES" -gt 1 ] && echo true || echo false)
 cat > "$JSON" <<EOF
