@@ -25,7 +25,7 @@
 
 use crate::session::LogSession;
 use crate::store::LogStore;
-use std::sync::{Arc, Mutex, RwLock};
+use lrf_sync::{Arc, Mutex, MutexExt, PoisonError, RwLock, RwLockExt};
 
 /// An interior-locked, copy-on-write [`LogStore`] for concurrent services.
 #[derive(Debug)]
@@ -58,8 +58,12 @@ impl SharedLogStore {
 
     /// A frozen, lock-free view of the store as of now. Cheap (one `Arc`
     /// clone); hold it for the duration of a retrieval round.
+    ///
+    /// Lock poisoning is recovered from, not propagated: the copy-on-write
+    /// protocol only ever publishes fully-built stores (the swap is a
+    /// pointer assignment), so even a poisoned cell holds a valid store.
     pub fn snapshot(&self) -> Arc<LogStore> {
-        Arc::clone(&self.inner.read().expect("log store lock poisoned"))
+        Arc::clone(&self.inner.read_recover())
     }
 
     /// Appends a session without exclusive access from the caller's side;
@@ -67,9 +71,9 @@ impl SharedLogStore {
     /// and concurrent `snapshot()` calls are never blocked for longer
     /// than a pointer swap, even when the append has to copy the store.
     pub fn record(&self, session: LogSession) -> usize {
-        let _appender = self.append.lock().expect("append lock poisoned");
+        let _appender = self.append.lock_recover();
         {
-            let mut guard = self.inner.write().expect("log store lock poisoned");
+            let mut guard = self.inner.write_recover();
             // No snapshot outstanding (`guard` holds the only Arc): mutate
             // in place, O(session), lock held only that long.
             if let Some(store) = Arc::get_mut(&mut guard) {
@@ -83,7 +87,7 @@ impl SharedLogStore {
         let mut next = (*base).clone();
         drop(base);
         let id = next.record(session);
-        *self.inner.write().expect("log store lock poisoned") = Arc::new(next);
+        *self.inner.write_recover() = Arc::new(next);
         id
     }
 
@@ -100,7 +104,10 @@ impl SharedLogStore {
     /// Extracts the current store, consuming the wrapper (end of serving:
     /// persist the accumulated log). Clones only if snapshots still exist.
     pub fn into_store(self) -> LogStore {
-        let arc = self.inner.into_inner().expect("log store lock poisoned");
+        let arc = self
+            .inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner);
         Arc::try_unwrap(arc).unwrap_or_else(|shared| (*shared).clone())
     }
 }

@@ -60,9 +60,11 @@
 //! ```
 
 pub mod api;
+pub mod flush;
 pub mod manager;
 pub mod service;
 
 pub use api::{Request, Response, ServiceError};
+pub use flush::Flushable;
 pub use manager::{EvictReason, Evicted, SessionGone, SessionManager};
 pub use service::{Service, ServiceConfig};

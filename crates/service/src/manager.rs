@@ -23,8 +23,8 @@
 //! abandoned session contributes its log vector (the paper's log grows
 //! with every session, not just the politely closed ones).
 
+use lrf_sync::{Arc, Mutex};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
 
 /// Why a session left the manager.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -132,8 +132,15 @@ impl<T> SessionManager<T> {
                 .iter()
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(&id, _)| id)
+                // lrf-lint: allow(service-panic): the loop condition just
+                // proved len() > capacity >= 1, so the map is nonempty
                 .expect("over-capacity map is nonempty");
-            let entry = self.entries.remove(&lru).expect("lru id just found");
+            let entry = self
+                .entries
+                .remove(&lru)
+                // lrf-lint: allow(service-panic): `lru` was produced by the
+                // min scan over this map one statement ago, under &mut self
+                .expect("lru id just found");
             evicted.push(Evicted {
                 id: lru,
                 payload: entry.payload,
@@ -184,7 +191,12 @@ impl<T> SessionManager<T> {
         stale
             .into_iter()
             .map(|id| {
-                let entry = self.entries.remove(&id).expect("stale id just found");
+                let entry = self
+                    .entries
+                    .remove(&id)
+                    // lrf-lint: allow(service-panic): `stale` ids were
+                    // collected from this map above, under &mut self
+                    .expect("stale id just found");
                 Evicted {
                     id,
                     payload: entry.payload,
@@ -201,7 +213,12 @@ impl<T> SessionManager<T> {
         ids.sort_unstable();
         ids.into_iter()
             .map(|id| {
-                let entry = self.entries.remove(&id).expect("id just listed");
+                let entry = self
+                    .entries
+                    .remove(&id)
+                    // lrf-lint: allow(service-panic): `ids` is the key set
+                    // of this map, collected above under &mut self
+                    .expect("id just listed");
                 (id, entry.payload)
             })
             .collect()

@@ -31,13 +31,14 @@
 //! tomorrow's coupled-SVM queries train on.
 
 use crate::api::{Request, Response, ServiceError};
+use crate::flush::Flushable;
 use crate::manager::{Evicted, SessionGone, SessionManager};
 use lrf_cbir::{build_flat_index, rank_with_index, ImageDatabase};
 use lrf_core::{FeedbackLoop, LrfConfig, PooledRetrieval, QueryContext, SchemeKind};
 use lrf_index::AnnIndex;
 use lrf_logdb::{LogStore, SharedLogStore};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use lrf_sync::atomic::{AtomicUsize, Ordering};
+use lrf_sync::{Arc, Mutex, MutexExt};
 
 /// Service tuning knobs.
 #[derive(Clone, Copy, Debug)]
@@ -71,20 +72,17 @@ impl Default for ServiceConfig {
 }
 
 /// One resident session: the resumable feedback loop plus the ranking its
-/// pages are served from.
+/// pages are served from. Always held as a [`Flushable`], whose tombstone
+/// (set under the state's lock when the session is flushed on close or
+/// eviction) makes every interleaving consistent: a request that looked
+/// the session up *before* it was removed from the manager either fully
+/// precedes the flush (its judgments are flushed) or observes
+/// `SessionExpired` — never a mutation of a detached session.
 struct SessionState {
     fb: FeedbackLoop,
     /// Current full-database ranking (initial content ranking until the
     /// first rerank).
     ranking: Vec<usize>,
-    /// Tombstone, set under this state's lock when the session is flushed
-    /// (close or eviction). A request that looked the session up *before*
-    /// it was removed from the manager may still be waiting on the state
-    /// lock; without the tombstone it would mutate the detached state and
-    /// acknowledge a judgment that never reaches the log. With it, every
-    /// interleaving is consistent: an operation either fully precedes the
-    /// flush (its judgments are flushed) or observes `SessionExpired`.
-    closed: bool,
 }
 
 /// The thread-safe multi-session feedback service.
@@ -92,7 +90,7 @@ pub struct Service {
     db: Arc<ImageDatabase>,
     index: Box<dyn AnnIndex>,
     log: SharedLogStore,
-    sessions: Mutex<SessionManager<SessionState>>,
+    sessions: Mutex<SessionManager<Flushable<SessionState>>>,
     flushed: AtomicUsize,
     nonconverged: AtomicUsize,
     config: ServiceConfig,
@@ -154,7 +152,7 @@ impl Service {
     /// persistence. Resident sessions are flushed first (in id order, so
     /// the resulting log is deterministic).
     pub fn into_log(self) -> LogStore {
-        let drained = self.sessions.lock().expect("session lock poisoned").drain();
+        let drained = self.sessions.lock_recover().drain();
         for (_, payload) in drained {
             let _ = self.flush(&payload);
         }
@@ -165,7 +163,7 @@ impl Service {
     pub fn handle(&self, request: Request) -> Response {
         // Expire idle sessions first so a session can never be observed
         // past its TTL; their judgments are salvaged into the log.
-        let expired = self.sessions.lock().expect("session lock poisoned").sweep();
+        let expired = self.sessions.lock_recover().sweep();
         self.flush_evicted(expired);
 
         match request {
@@ -195,6 +193,9 @@ impl Service {
                 reason: e.to_string(),
             }),
         };
+        // lrf-lint: allow(service-panic): Response serialization is
+        // infallible by construction (no maps with non-string keys, no
+        // non-finite floats), covered by api.rs round-trip tests
         serde_json::to_string(&response).expect("responses always serialize")
     }
 
@@ -210,28 +211,23 @@ impl Service {
         // what the paper's users judged first.
         let ranking = rank_with_index(&self.db, self.index.as_ref(), self.db.feature(query));
         let screen = ranking[..self.config.screen_size.min(ranking.len())].to_vec();
-        let (session, evicted) =
-            self.sessions
-                .lock()
-                .expect("session lock poisoned")
-                .insert(SessionState {
-                    fb,
-                    ranking,
-                    closed: false,
-                });
+        let (session, evicted) = self
+            .sessions
+            .lock_recover()
+            .insert(Flushable::new(SessionState { fb, ranking }));
         self.flush_evicted(evicted);
         Response::Opened { session, screen }
     }
 
     fn mark(&self, session: u64, image: usize, relevant: bool) -> Response {
-        let state = match self.lookup(session) {
-            Ok(state) => state,
+        let payload = match self.lookup(session) {
+            Ok(payload) => payload,
             Err(e) => return Response::err(e),
         };
-        let mut state = state.lock().expect("session lock poisoned");
-        if state.closed {
+        let mut guard = payload.lock_recover();
+        let Some(state) = guard.get_mut() else {
             return Response::err(ServiceError::SessionExpired { session });
-        }
+        };
         match state.fb.mark(image, relevant) {
             Ok(()) => Response::Marked {
                 session,
@@ -242,17 +238,17 @@ impl Service {
     }
 
     fn rerank(&self, session: u64) -> Response {
-        let state = match self.lookup(session) {
-            Ok(state) => state,
+        let payload = match self.lookup(session) {
+            Ok(payload) => payload,
             Err(e) => return Response::err(e),
         };
         // The global lock is already released: the retrain below runs
         // under this session's lock only, concurrently with other
         // sessions' retrains.
-        let mut state = state.lock().expect("session lock poisoned");
-        if state.closed {
+        let mut guard = payload.lock_recover();
+        let Some(state) = guard.get_mut() else {
             return Response::err(ServiceError::SessionExpired { session });
-        }
+        };
         let snapshot = self.log.snapshot();
         let example = state.fb.example();
         let ctx = QueryContext {
@@ -278,14 +274,14 @@ impl Service {
     }
 
     fn page(&self, session: u64, offset: usize, count: usize) -> Response {
-        let state = match self.lookup(session) {
-            Ok(state) => state,
+        let payload = match self.lookup(session) {
+            Ok(payload) => payload,
             Err(e) => return Response::err(e),
         };
-        let state = state.lock().expect("session lock poisoned");
-        if state.closed {
+        let guard = payload.lock_recover();
+        let Some(state) = guard.get() else {
             return Response::err(ServiceError::SessionExpired { session });
-        }
+        };
         let start = offset.min(state.ranking.len());
         let end = offset.saturating_add(count).min(state.ranking.len());
         Response::Page {
@@ -295,11 +291,7 @@ impl Service {
     }
 
     fn close(&self, session: u64) -> Response {
-        let removed = self
-            .sessions
-            .lock()
-            .expect("session lock poisoned")
-            .remove(session);
+        let removed = self.sessions.lock_recover().remove(session);
         match removed {
             Ok(payload) => {
                 let log_session = self.flush(&payload);
@@ -314,7 +306,7 @@ impl Service {
 
     fn stats(&self) -> Response {
         Response::Stats {
-            active_sessions: self.sessions.lock().expect("session lock poisoned").len(),
+            active_sessions: self.sessions.lock_recover().len(),
             log_sessions: self.log.n_sessions(),
             n_images: self.db.len(),
             flushed_sessions: self.flushed.load(Ordering::Relaxed),
@@ -322,10 +314,9 @@ impl Service {
         }
     }
 
-    fn lookup(&self, session: u64) -> Result<Arc<Mutex<SessionState>>, ServiceError> {
+    fn lookup(&self, session: u64) -> Result<Arc<Mutex<Flushable<SessionState>>>, ServiceError> {
         self.sessions
-            .lock()
-            .expect("session lock poisoned")
+            .lock_recover()
             .get(session)
             .map_err(|gone| Self::gone_error(session, gone))
     }
@@ -339,15 +330,13 @@ impl Service {
 
     /// Flushes one session's judgments into the shared log and tombstones
     /// the state; returns the new log-session id (empty sessions flush
-    /// nothing). Idempotent: a state can be flushed at most once, and a
-    /// request that raced the removal and is still holding the `Arc`
-    /// observes the tombstone instead of mutating a detached session.
-    fn flush(&self, payload: &Arc<Mutex<SessionState>>) -> Option<usize> {
-        let mut state = payload.lock().expect("session lock poisoned");
-        if state.closed {
-            return None;
-        }
-        state.closed = true;
+    /// nothing). Idempotent: [`Flushable::close`] yields the state at most
+    /// once, and a request that raced the removal and is still holding the
+    /// `Arc` observes the tombstone instead of mutating a detached
+    /// session.
+    fn flush(&self, payload: &Arc<Mutex<Flushable<SessionState>>>) -> Option<usize> {
+        let mut guard = payload.lock_recover();
+        let state = guard.close()?;
         let session = state.fb.to_log_session();
         if session.is_empty() {
             return None;
@@ -357,7 +346,7 @@ impl Service {
         Some(id)
     }
 
-    fn flush_evicted(&self, evicted: Vec<Evicted<SessionState>>) {
+    fn flush_evicted(&self, evicted: Vec<Evicted<Flushable<SessionState>>>) {
         for e in evicted {
             let _ = self.flush(&e.payload);
         }
@@ -718,7 +707,7 @@ mod tests {
         else {
             panic!("close failed")
         };
-        assert!(payload.lock().unwrap().closed, "flush must tombstone");
+        assert!(payload.lock().unwrap().is_closed(), "flush must tombstone");
         // Re-flushing the detached payload is a no-op (no double log
         // entry), which is what makes racing evict/close paths safe.
         let logged = svc.log_sessions();

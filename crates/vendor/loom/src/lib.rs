@@ -1,0 +1,81 @@
+//! Vendored loom-style deterministic concurrency model checker.
+//!
+//! Offline, dependency-free stand-in for the `loom` crate, built for this
+//! workspace's concurrency-correctness harness. It provides instrumented
+//! drop-in versions of the `std` primitives the service stack uses —
+//! [`sync::Mutex`], [`sync::RwLock`], [`sync::Arc`], [`sync::atomic`],
+//! [`thread::spawn`] — and a driver ([`model`] / [`explore`] /
+//! [`Builder`]) that runs a closure under **every** thread interleaving
+//! within a bounded schedule space:
+//!
+//! * one OS thread per model thread, exactly one admitted at a time, with
+//!   a schedule point before every instrumented operation;
+//! * bounded-preemption exhaustive DFS over scheduling choices (CHESS
+//!   style, default bound 2), falling back to seeded-random exploration
+//!   when the DFS budget runs out;
+//! * violations (panics, failed assertions, deadlocks) reported with the
+//!   schedule that produced them.
+//!
+//! All shims are **dual-mode**: outside a model run they delegate straight
+//! to `std::sync` (one relaxed atomic load of overhead), so code built on
+//! them runs normally in production and ordinary tests, and model tests
+//! execute under plain `cargo test` with no special `RUSTFLAGS`.
+//!
+//! ```
+//! use loom::sync::{Arc, Mutex};
+//!
+//! // Two racing increments through a mutex: every interleaving is safe.
+//! let report = loom::explore(|| {
+//!     let n = Arc::new(Mutex::new(0));
+//!     let n2 = Arc::clone(&n);
+//!     let t = loom::thread::spawn(move || {
+//!         *n2.lock().unwrap() += 1;
+//!     });
+//!     *n.lock().unwrap() += 1;
+//!     t.join().unwrap();
+//! })
+//! .unwrap();
+//! assert!(report.complete);
+//! ```
+//!
+//! Scope: the checker linearizes every instrumented operation, so it
+//! explores all interleavings of sequentially-consistent executions; weak
+//! memory orderings are not modeled. Model closures must behave
+//! deterministically apart from scheduling (no wall-clock, no ambient
+//! randomness such as hash-map iteration order influencing which locks are
+//! taken) — the checker detects divergence during schedule replay and
+//! reports it as a violation rather than exploring unsoundly.
+
+mod rt;
+pub mod sync;
+pub mod thread;
+
+pub use rt::{Builder, Report, Violation};
+
+/// Explores `f` under the default [`Builder`] and panics on the first
+/// violation — the loom-compatible entry point for `#[test]` functions.
+///
+/// # Panics
+/// Panics with the violation (message + failing schedule) if any explored
+/// interleaving panics, fails an assertion, or deadlocks.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    if let Err(violation) = Builder::default().check(f) {
+        panic!("{violation}");
+    }
+}
+
+/// Explores `f` under the default [`Builder`], returning the [`Report`] or
+/// the first [`Violation`]. Use this form to assert that a seeded bug *is*
+/// caught.
+///
+/// # Errors
+/// Returns the first violation found, with the schedule that produced it.
+pub fn explore<F>(f: F) -> Result<Report, Violation>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::default().check(f)
+}

@@ -1,0 +1,702 @@
+//! The deterministic scheduler runtime behind the instrumented shims.
+//!
+//! ## Execution model
+//!
+//! A model run executes the program many times. In each **execution**,
+//! every model thread runs on its own OS thread but the scheduler admits
+//! **exactly one** of them at a time (a baton passed through a condvar), so
+//! the program is fully sequentialized: a thread runs uninterrupted from
+//! one *schedule point* to the next. Schedule points sit in front of every
+//! instrumented operation (lock acquire, atomic access, `Arc` clone/drop,
+//! spawn, join, yield), which is exactly the granularity at which distinct
+//! interleavings of a data-race-free program can differ.
+//!
+//! At a schedule point with more than one runnable thread the scheduler
+//! faces a **choice**. The driver explores the tree of choices:
+//!
+//! * **Exhaustive DFS with a preemption bound** — the default. Choices
+//!   that switch away from a thread that could have continued count as
+//!   preemptions; executions with more than
+//!   [`Builder::preemption_bound`] of them are pruned (the CHESS result:
+//!   most real concurrency bugs need very few preemptions). Within the
+//!   bound the search is exhaustive, so a passing report with
+//!   `complete == true` is a proof over that schedule space.
+//! * **Seeded-random fallback** — if the DFS has not finished after
+//!   [`Builder::max_dfs_executions`] executions, the driver switches to
+//!   uniformly random scheduling (deterministic per
+//!   [`Builder::seed`]) for another [`Builder::random_executions`]
+//!   executions and reports `complete == false`.
+//!
+//! A violation — an assertion failure or panic on any model thread, a
+//! deadlock (every thread blocked), or nondeterminism (the program made
+//! different choices on replay) — aborts the exploration and is returned
+//! with the schedule (the sequence of choice indices) that produced it.
+//!
+//! ## Blocking, deadlock, teardown
+//!
+//! A thread that would block (contended lock, join on a live thread)
+//! parks itself and hands the baton over; releasing a resource marks its
+//! waiters runnable again. If a thread must block and no thread is
+//! runnable, the execution has deadlocked and the scheduler reports it.
+//! After any violation the execution enters **free-run** teardown: the
+//! baton is abandoned, every parked thread wakes, and each unwinds at its
+//! next schedule point via a sentinel panic ([`StopExecution`]) so the
+//! driver can reap all OS threads and report.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
+use std::panic;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc as StdArc, Condvar, Mutex as StdMutex, Once};
+
+/// Sentinel panic payload used to unwind model threads during teardown.
+/// Never reported as a violation.
+pub(crate) struct StopExecution;
+
+/// Process-wide count of model runs in flight: the fast path of every shim
+/// is a single relaxed load of this counter, so outside a model run the
+/// instrumented types cost one predictable branch over bare `std::sync`.
+static MODELS_ACTIVE: AtomicUsize = AtomicUsize::new(0);
+
+/// Process-wide resource-id allocator (locks lazily claim an id on first
+/// model-mode use; ids only need to be unique, not dense).
+static NEXT_RESOURCE: AtomicUsize = AtomicUsize::new(1);
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// A model thread's handle to its execution: shared scheduler state plus
+/// this thread's index.
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) exec: StdArc<Execution>,
+    pub(crate) me: usize,
+}
+
+/// The calling thread's model context, or `None` when it is an ordinary
+/// (uninstrumented) thread — the dual-mode dispatch every shim starts with.
+#[inline]
+pub(crate) fn current() -> Option<Ctx> {
+    if MODELS_ACTIVE.load(Ordering::Relaxed) == 0 {
+        return None;
+    }
+    CTX.with(|c| c.borrow().clone())
+}
+
+fn install(ctx: Ctx) {
+    CTX.with(|c| *c.borrow_mut() = Some(ctx));
+}
+
+fn uninstall() {
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+/// Allocates a fresh resource id for a lock.
+pub(crate) fn alloc_resource() -> usize {
+    NEXT_RESOURCE.fetch_add(1, Ordering::Relaxed)
+}
+
+/// What a registered thread is currently doing, from the scheduler's view.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Run {
+    /// Can be scheduled.
+    Runnable,
+    /// Parked until the resource with this id is released.
+    Blocked(usize),
+    /// Parked until the thread with this index finishes.
+    Joining(usize),
+    /// Returned (or unwound); never scheduled again.
+    Finished,
+}
+
+/// One recorded scheduling decision: at a point where `options` (more than
+/// one thread) were schedulable while `current` held the baton, the
+/// `pick`-th option was chosen. The DFS backtracks by bumping `pick`.
+#[derive(Clone, Debug)]
+pub(crate) struct Choice {
+    current: usize,
+    options: Vec<usize>,
+    pick: usize,
+}
+
+/// How the current execution chooses at branch points.
+enum Explore {
+    /// Replay `trace[..len]`, then extend depth-first (always option 0).
+    Dfs,
+    /// Choose uniformly at random; the generator persists across
+    /// executions so each one walks a different schedule.
+    Random(Box<StdRng>),
+}
+
+struct Schedule {
+    trace: Vec<Choice>,
+    /// Next replay position within `trace` (DFS mode).
+    pos: usize,
+    mode: Explore,
+    preemption_bound: Option<usize>,
+    preemptions: usize,
+}
+
+struct ExecState {
+    threads: Vec<Run>,
+    handles: Vec<Option<std::thread::JoinHandle<()>>>,
+    /// Index of the thread holding the baton.
+    active: usize,
+    /// Set on violation: scheduling is abandoned and every thread unwinds
+    /// at its next schedule point.
+    free_run: bool,
+    failure: Option<String>,
+    finished: usize,
+    schedule: Schedule,
+}
+
+/// Shared state of one execution (one complete run of the model closure).
+pub(crate) struct Execution {
+    state: StdMutex<ExecState>,
+    cond: Condvar,
+}
+
+impl Execution {
+    fn new(trace: Vec<Choice>, mode: Explore, preemption_bound: Option<usize>) -> Self {
+        Execution {
+            state: StdMutex::new(ExecState {
+                threads: Vec::new(),
+                handles: Vec::new(),
+                active: 0,
+                free_run: false,
+                failure: None,
+                finished: 0,
+                schedule: Schedule {
+                    trace,
+                    pos: 0,
+                    mode,
+                    preemption_bound,
+                    preemptions: 0,
+                },
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ExecState> {
+        // The scheduler's own mutex is never held across a wait point by a
+        // running thread, so poisoning can only come from a panic inside
+        // the scheduler itself; recovering keeps teardown deliverable.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Registers a new model thread, returning its index. The thread is
+    /// immediately runnable but the baton stays with the spawner.
+    pub(crate) fn register(&self) -> usize {
+        let mut st = self.lock();
+        st.threads.push(Run::Runnable);
+        st.handles.push(None);
+        st.threads.len() - 1
+    }
+
+    pub(crate) fn store_handle(&self, idx: usize, h: std::thread::JoinHandle<()>) {
+        self.lock().handles[idx] = Some(h);
+    }
+
+    /// Parks the calling OS thread until it is scheduled for the first
+    /// time (or teardown begins).
+    fn wait_for_baton(&self, me: usize) {
+        let mut st = self.lock();
+        while !(st.active == me || st.free_run) {
+            st = self.cond.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Records a violation, switches to free-run teardown and wakes
+    /// everyone. Only the first violation is kept.
+    fn fail(&self, st: &mut ExecState, message: String) {
+        if st.failure.is_none() {
+            st.failure = Some(message);
+        }
+        st.free_run = true;
+        self.cond.notify_all();
+    }
+
+    /// Unwinds the calling thread with the teardown sentinel — unless it
+    /// is already unwinding (a sentinel panic inside a `Drop` that runs
+    /// during another panic would abort the process).
+    fn stop(&self) -> ! {
+        debug_assert!(!std::thread::panicking());
+        panic::panic_any(StopExecution);
+    }
+
+    /// Picks the next thread to run. `me_runnable` says whether the
+    /// caller could continue (false at forced switches: block/join/
+    /// finish). Returns `None` when no thread can run — a deadlock,
+    /// which the caller reports. Records a [`Choice`] when more than one
+    /// option existed.
+    fn decide(&self, st: &mut ExecState, me: usize, me_runnable: bool) -> Option<usize> {
+        let mut enabled: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|&(_, &r)| r == Run::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if enabled.is_empty() {
+            return None;
+        }
+        // Deterministic option order: the current thread first (staying is
+        // never a preemption), then the rest by index.
+        if let Some(p) = enabled.iter().position(|&t| t == me) {
+            enabled.remove(p);
+            enabled.insert(0, me);
+        }
+        // Preemption bound: once spent, a thread that can continue must.
+        let sched = &mut st.schedule;
+        let options = if me_runnable
+            && enabled.first() == Some(&me)
+            && sched
+                .preemption_bound
+                .is_some_and(|b| sched.preemptions >= b)
+        {
+            vec![me]
+        } else {
+            enabled
+        };
+        let pick = if options.len() == 1 {
+            0
+        } else {
+            match &mut sched.mode {
+                Explore::Dfs => {
+                    if sched.pos < sched.trace.len() {
+                        let c = &sched.trace[sched.pos];
+                        if c.options != options || c.current != me {
+                            let msg = format!(
+                                "nondeterministic execution: schedule replay diverged \
+                                 (expected options {:?} at thread {}, found {:?} at \
+                                 thread {me})",
+                                c.options, c.current, options,
+                            );
+                            self.fail(st, msg);
+                            return Some(me);
+                        }
+                        let p = c.pick;
+                        sched.pos += 1;
+                        p
+                    } else {
+                        sched.trace.push(Choice {
+                            current: me,
+                            options: options.clone(),
+                            pick: 0,
+                        });
+                        sched.pos += 1;
+                        0
+                    }
+                }
+                Explore::Random(rng) => {
+                    let p = rng.gen_range(0..options.len());
+                    sched.trace.push(Choice {
+                        current: me,
+                        options: options.clone(),
+                        pick: p,
+                    });
+                    p
+                }
+            }
+        };
+        let chosen = options[pick];
+        if me_runnable && chosen != me {
+            st.schedule.preemptions += 1;
+        }
+        Some(chosen)
+    }
+
+    /// Hands the baton to `next` and parks until this thread is scheduled
+    /// again (predicate: runnable *and* active), or teardown begins.
+    fn hand_over_and_park(&self, mut st: std::sync::MutexGuard<'_, ExecState>, me: usize) {
+        loop {
+            if st.free_run {
+                drop(st);
+                if self.lock().failure.is_some() && !std::thread::panicking() {
+                    self.stop();
+                }
+                return;
+            }
+            if st.active == me && st.threads[me] == Run::Runnable {
+                return;
+            }
+            st = self.cond.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// A schedule point: the instrumented operation that follows runs
+    /// atomically with respect to every other model thread.
+    pub(crate) fn switch_point(&self, me: usize) {
+        let mut st = self.lock();
+        if st.free_run {
+            let failed = st.failure.is_some();
+            drop(st);
+            if failed && !std::thread::panicking() {
+                self.stop();
+            }
+            return;
+        }
+        match self.decide(&mut st, me, true) {
+            Some(next) if next == me => {}
+            Some(next) => {
+                st.active = next;
+                self.cond.notify_all();
+                self.hand_over_and_park(st, me);
+            }
+            // `me` is runnable, so the enabled set cannot be empty.
+            None => unreachable!("schedule point with no runnable thread"),
+        }
+    }
+
+    /// Parks the calling thread until `resource` is released. The caller
+    /// retries its acquisition when woken (wakeups are collective, not
+    /// ownership transfers).
+    pub(crate) fn block_on(&self, me: usize, resource: usize) {
+        let mut st = self.lock();
+        if st.free_run {
+            let failed = st.failure.is_some();
+            drop(st);
+            if failed && !std::thread::panicking() {
+                self.stop();
+            }
+            // Teardown: the holder is unwinding; spin-retry.
+            std::thread::yield_now();
+            return;
+        }
+        st.threads[me] = Run::Blocked(resource);
+        match self.decide(&mut st, me, false) {
+            Some(next) => {
+                st.active = next;
+                self.cond.notify_all();
+                self.hand_over_and_park(st, me);
+            }
+            None => {
+                self.fail(&mut st, "deadlock: every model thread is blocked".into());
+                drop(st);
+                self.stop();
+            }
+        }
+    }
+
+    /// Marks every thread blocked on `resource` runnable again. Called
+    /// from guard drops — never a schedule point, and never panics, so it
+    /// is unwind-safe.
+    pub(crate) fn release(&self, resource: usize) {
+        let mut st = self.lock();
+        for r in st.threads.iter_mut() {
+            if *r == Run::Blocked(resource) {
+                *r = Run::Runnable;
+            }
+        }
+        self.cond.notify_all();
+    }
+
+    /// Parks the calling thread until thread `target` finishes.
+    pub(crate) fn join_wait(&self, me: usize, target: usize) {
+        loop {
+            let mut st = self.lock();
+            if st.threads[target] == Run::Finished {
+                return;
+            }
+            if st.free_run {
+                let failed = st.failure.is_some();
+                drop(st);
+                if failed && !std::thread::panicking() {
+                    self.stop();
+                }
+                std::thread::yield_now();
+                continue;
+            }
+            st.threads[me] = Run::Joining(target);
+            match self.decide(&mut st, me, false) {
+                Some(next) => {
+                    st.active = next;
+                    self.cond.notify_all();
+                    self.hand_over_and_park(st, me);
+                }
+                None => {
+                    self.fail(&mut st, "deadlock: every model thread is blocked".into());
+                    drop(st);
+                    self.stop();
+                }
+            }
+        }
+    }
+
+    /// Marks the calling thread finished, wakes joiners, records any
+    /// violation it carried, and hands the baton on (or reports the
+    /// deadlock of the remaining threads).
+    pub(crate) fn finish(&self, me: usize, violation: Option<String>) {
+        let mut st = self.lock();
+        st.threads[me] = Run::Finished;
+        st.finished += 1;
+        for r in st.threads.iter_mut() {
+            if *r == Run::Joining(me) {
+                *r = Run::Runnable;
+            }
+        }
+        if let Some(msg) = violation {
+            self.fail(&mut st, msg);
+        }
+        if !st.free_run && st.finished < st.threads.len() {
+            match self.decide(&mut st, me, false) {
+                Some(next) => st.active = next,
+                None => self.fail(
+                    &mut st,
+                    "deadlock: the remaining model threads are all blocked".into(),
+                ),
+            }
+        }
+        self.cond.notify_all();
+    }
+
+    /// Driver side: parks until every registered thread has finished.
+    fn wait_all_finished(&self) {
+        let mut st = self.lock();
+        while st.finished < st.threads.len() || st.threads.is_empty() {
+            st = self.cond.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn take_handles(&self) -> Vec<std::thread::JoinHandle<()>> {
+        self.lock()
+            .handles
+            .iter_mut()
+            .filter_map(Option::take)
+            .collect()
+    }
+}
+
+/// Extracts a violation message from a caught panic payload. The teardown
+/// sentinel is not a violation.
+pub(crate) fn violation_message(payload: &(dyn std::any::Any + Send)) -> Option<String> {
+    if payload.downcast_ref::<StopExecution>().is_some() {
+        return None;
+    }
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        return Some((*s).to_string());
+    }
+    if let Some(s) = payload.downcast_ref::<String>() {
+        return Some(s.clone());
+    }
+    Some("model thread panicked with a non-string payload".to_string())
+}
+
+/// Installs (once, process-wide) a panic hook that silences the teardown
+/// sentinel; every other panic goes to the previously installed hook.
+fn install_quiet_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<StopExecution>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Spawns one model thread: registers it, launches the OS thread, and
+/// wires the catch-unwind/finish protocol. Returns the thread's index.
+pub(crate) fn spawn_model_thread<F>(exec: &StdArc<Execution>, body: F) -> usize
+where
+    F: FnOnce() + Send + 'static,
+{
+    let idx = exec.register();
+    let exec2 = StdArc::clone(exec);
+    let handle = std::thread::Builder::new()
+        .name(format!("loom-{idx}"))
+        .spawn(move || {
+            install(Ctx {
+                exec: StdArc::clone(&exec2),
+                me: idx,
+            });
+            exec2.wait_for_baton(idx);
+            let result = panic::catch_unwind(panic::AssertUnwindSafe(body));
+            let violation = result.as_ref().err().and_then(|e| violation_message(&**e));
+            exec2.finish(idx, violation);
+            uninstall();
+        })
+        .expect("failed to spawn a model thread");
+    exec.store_handle(idx, handle);
+    idx
+}
+
+/// Exploration limits and the entry point for a model run.
+///
+/// The defaults (preemption bound 2, 10 000 DFS executions, 2 000 random
+/// executions) are sized for component-level models of a handful of
+/// threads; tighten or loosen per test.
+#[derive(Clone, Debug)]
+pub struct Builder {
+    /// Maximum preemptive context switches per execution (`None` =
+    /// unbounded, i.e. plain exhaustive search). Forced switches — a
+    /// thread blocking or finishing — are always free.
+    pub preemption_bound: Option<usize>,
+    /// DFS execution budget before falling back to random exploration.
+    pub max_dfs_executions: usize,
+    /// Random executions to run after the DFS budget is spent (0 =
+    /// report incomplete immediately).
+    pub random_executions: usize,
+    /// Seed for the random fallback (exploration stays deterministic).
+    pub seed: u64,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            preemption_bound: Some(2),
+            max_dfs_executions: 10_000,
+            random_executions: 2_000,
+            seed: 0x1bf5_ca1e,
+        }
+    }
+}
+
+/// Outcome of an exploration that found no violation.
+#[derive(Clone, Copy, Debug)]
+pub struct Report {
+    /// Executions (distinct schedules) actually run.
+    pub executions: usize,
+    /// `true` when the DFS exhausted every schedule within the preemption
+    /// bound — a proof over that space. `false` means the budget ran out
+    /// and the tail of the space was only sampled randomly.
+    pub complete: bool,
+}
+
+/// A violation found by the checker, with the schedule that produced it.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// The panic/assertion message, or a deadlock/nondeterminism report.
+    pub message: String,
+    /// Executions run up to and including the failing one.
+    pub executions: usize,
+    /// The failing schedule as the sequence of branch-point picks.
+    pub schedule: Vec<usize>,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "model violation after {} execution(s): {} (schedule {:?})",
+            self.executions, self.message, self.schedule
+        )
+    }
+}
+
+impl std::error::Error for Violation {}
+
+impl Builder {
+    /// Explores the closure's interleavings. Returns `Ok` with a report
+    /// when no schedule within the explored space produced a violation,
+    /// `Err` with the first violation found otherwise.
+    ///
+    /// # Panics
+    /// Panics when called from inside another model run (models do not
+    /// nest).
+    pub fn check<F>(&self, f: F) -> Result<Report, Violation>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        assert!(
+            current().is_none(),
+            "loom models do not nest: Builder::check called from a model thread"
+        );
+        install_quiet_hook();
+        struct DecrementOnDrop;
+        impl Drop for DecrementOnDrop {
+            fn drop(&mut self) {
+                MODELS_ACTIVE.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        MODELS_ACTIVE.fetch_add(1, Ordering::SeqCst);
+        let _active = DecrementOnDrop;
+        let f = StdArc::new(f);
+
+        let mut trace: Vec<Choice> = Vec::new();
+        let mut executions = 0usize;
+        let mut rng: Option<Box<StdRng>> = None;
+        loop {
+            let mode = match rng.take() {
+                None => Explore::Dfs,
+                Some(r) => Explore::Random(r),
+            };
+            let random_mode = matches!(mode, Explore::Random(_));
+            let exec = StdArc::new(Execution::new(
+                std::mem::take(&mut trace),
+                mode,
+                self.preemption_bound,
+            ));
+            let body = {
+                let f = StdArc::clone(&f);
+                move || f()
+            };
+            spawn_model_thread(&exec, body);
+            exec.wait_all_finished();
+            for h in exec.take_handles() {
+                let _ = h.join();
+            }
+            executions += 1;
+
+            let exec = StdArc::try_unwrap(exec)
+                .unwrap_or_else(|_| unreachable!("all model threads were reaped"));
+            let st = exec.state.into_inner().unwrap_or_else(|e| e.into_inner());
+            if let Some(message) = st.failure {
+                return Err(Violation {
+                    message,
+                    executions,
+                    schedule: st.schedule.trace.iter().map(|c| c.pick).collect(),
+                });
+            }
+            trace = st.schedule.trace;
+            if random_mode {
+                if executions >= self.max_dfs_executions + self.random_executions {
+                    return Ok(Report {
+                        executions,
+                        complete: false,
+                    });
+                }
+                rng = match st.schedule.mode {
+                    Explore::Random(r) => Some(r),
+                    Explore::Dfs => unreachable!("random execution kept its generator"),
+                };
+                trace.clear();
+            } else {
+                if !advance(&mut trace) {
+                    return Ok(Report {
+                        executions,
+                        complete: true,
+                    });
+                }
+                if executions >= self.max_dfs_executions {
+                    if self.random_executions == 0 {
+                        return Ok(Report {
+                            executions,
+                            complete: false,
+                        });
+                    }
+                    rng = Some(Box::new(StdRng::seed_from_u64(self.seed)));
+                    trace.clear();
+                }
+            }
+        }
+    }
+}
+
+/// Moves `trace` to the depth-first next schedule: bump the deepest choice
+/// with an untried option, drop everything after it. Returns `false` when
+/// the space is exhausted.
+fn advance(trace: &mut Vec<Choice>) -> bool {
+    while let Some(last) = trace.last_mut() {
+        if last.pick + 1 < last.options.len() {
+            last.pick += 1;
+            return true;
+        }
+        trace.pop();
+    }
+    false
+}

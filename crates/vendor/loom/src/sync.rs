@@ -1,0 +1,26 @@
+//! Instrumented drop-in replacements for `std::sync` primitives.
+//!
+//! Every type here is **dual-mode**: outside a model run (the common
+//! case — production code, ordinary tests) each operation is a single
+//! relaxed atomic load away from the bare `std::sync` equivalent, with
+//! identical semantics including poisoning. Inside [`crate::model`] /
+//! [`crate::Builder::check`], every acquisition, `Arc` clone/drop and
+//! atomic access becomes a schedule point the checker interleaves.
+//!
+//! Lock data always lives in the underlying `std` primitive, so poisoning
+//! works unmodified: a model thread that panics while holding a guard
+//! poisons the lock exactly as `std` would.
+
+pub mod atomic;
+
+mod arc;
+mod mutex;
+mod rwlock;
+
+pub use arc::Arc;
+pub use mutex::{Mutex, MutexGuard};
+pub use rwlock::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+// The error/result vocabulary is shared with `std` so callers can move
+// between the instrumented and plain types without code changes.
+pub use std::sync::{LockResult, PoisonError, TryLockError, TryLockResult};

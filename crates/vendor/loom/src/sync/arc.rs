@@ -1,0 +1,131 @@
+//! The instrumented atomically-reference-counted pointer.
+
+use crate::rt;
+use std::mem::ManuallyDrop;
+use std::sync::Arc as StdArc;
+
+/// An `std::sync::Arc` whose clones and drops are schedule points under
+/// the model checker — so the checker can interleave, say, a reader
+/// dropping its snapshot against a writer's `Arc::get_mut` uniqueness
+/// probe.
+///
+/// The associated-function API mirrors `std` (`Arc::clone(&x)`,
+/// `Arc::get_mut`, `Arc::try_unwrap`, `Arc::ptr_eq`, ...).
+pub struct Arc<T: ?Sized> {
+    /// `ManuallyDrop` so `try_unwrap` can move the inner pointer out of a
+    /// type that also implements `Drop`.
+    inner: ManuallyDrop<StdArc<T>>,
+}
+
+fn schedule_point() {
+    if let Some(ctx) = rt::current() {
+        ctx.exec.switch_point(ctx.me);
+    }
+}
+
+impl<T> Arc<T> {
+    /// Wraps `value` in a new reference-counted allocation.
+    pub fn new(value: T) -> Self {
+        Arc {
+            inner: ManuallyDrop::new(StdArc::new(value)),
+        }
+    }
+
+    /// Returns the inner value if `this` holds the only reference,
+    /// otherwise gives `this` back.
+    ///
+    /// # Errors
+    /// Returns `Err(this)` when other references exist.
+    pub fn try_unwrap(mut this: Self) -> Result<T, Self> {
+        schedule_point();
+        let inner = unsafe { ManuallyDrop::take(&mut this.inner) };
+        std::mem::forget(this);
+        StdArc::try_unwrap(inner).map_err(|a| Arc {
+            inner: ManuallyDrop::new(a),
+        })
+    }
+}
+
+impl<T: ?Sized> Arc<T> {
+    /// Mutable access to the value when `this` is the only reference.
+    pub fn get_mut(this: &mut Self) -> Option<&mut T> {
+        schedule_point();
+        StdArc::get_mut(&mut this.inner)
+    }
+
+    /// Whether the two point at the same allocation.
+    pub fn ptr_eq(this: &Self, other: &Self) -> bool {
+        StdArc::ptr_eq(&this.inner, &other.inner)
+    }
+
+    /// The raw pointer to the value.
+    pub fn as_ptr(this: &Self) -> *const T {
+        StdArc::as_ptr(&this.inner)
+    }
+
+    /// The number of strong references.
+    pub fn strong_count(this: &Self) -> usize {
+        StdArc::strong_count(&this.inner)
+    }
+}
+
+impl<T: ?Sized> Clone for Arc<T> {
+    fn clone(&self) -> Self {
+        schedule_point();
+        Arc {
+            inner: ManuallyDrop::new(StdArc::clone(&self.inner)),
+        }
+    }
+}
+
+impl<T: ?Sized> Drop for Arc<T> {
+    fn drop(&mut self) {
+        schedule_point();
+        unsafe { ManuallyDrop::drop(&mut self.inner) };
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for Arc<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> AsRef<T> for Arc<T> {
+    fn as_ref(&self) -> &T {
+        self
+    }
+}
+
+impl<T: Default> Default for Arc<T> {
+    fn default() -> Self {
+        Arc::new(T::default())
+    }
+}
+
+impl<T> From<T> for Arc<T> {
+    fn from(value: T) -> Self {
+        Arc::new(value)
+    }
+}
+
+impl<T: std::fmt::Debug + ?Sized> std::fmt::Debug for Arc<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+impl<T: std::fmt::Display + ?Sized> std::fmt::Display for Arc<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+impl<T: PartialEq + ?Sized> PartialEq for Arc<T> {
+    fn eq(&self, other: &Self) -> bool {
+        **self == **other
+    }
+}
+
+impl<T: Eq + ?Sized> Eq for Arc<T> {}

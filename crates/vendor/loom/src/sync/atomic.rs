@@ -1,0 +1,132 @@
+//! Instrumented atomic integers.
+//!
+//! Each operation is a schedule point under the model checker and then
+//! delegates to the `std` atomic with the caller's ordering. Because the
+//! scheduler runs one thread at a time, every atomic access is linearized
+//! at its schedule point: the checker explores all interleavings of
+//! sequentially-consistent executions and does **not** model weaker
+//! memory orderings (the same simplification loom's default mode makes).
+
+pub use std::sync::atomic::Ordering;
+
+use crate::rt;
+
+fn schedule_point() {
+    if let Some(ctx) = rt::current() {
+        ctx.exec.switch_point(ctx.me);
+    }
+}
+
+macro_rules! atomic_int {
+    ($(#[$doc:meta])* $name:ident, $std:ident, $ty:ty) => {
+        $(#[$doc])*
+        #[derive(Default)]
+        pub struct $name {
+            inner: std::sync::atomic::$std,
+        }
+
+        impl $name {
+            /// Creates a new atomic with the given initial value.
+            pub const fn new(v: $ty) -> Self {
+                Self {
+                    inner: std::sync::atomic::$std::new(v),
+                }
+            }
+
+            /// Loads the value.
+            pub fn load(&self, order: Ordering) -> $ty {
+                schedule_point();
+                self.inner.load(order)
+            }
+
+            /// Stores a value.
+            pub fn store(&self, val: $ty, order: Ordering) {
+                schedule_point();
+                self.inner.store(val, order)
+            }
+
+            /// Swaps in a value, returning the previous one.
+            pub fn swap(&self, val: $ty, order: Ordering) -> $ty {
+                schedule_point();
+                self.inner.swap(val, order)
+            }
+
+            /// Stores `new` if the current value is `current`.
+            ///
+            /// # Errors
+            /// Returns the actual value when it was not `current`.
+            pub fn compare_exchange(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                schedule_point();
+                self.inner.compare_exchange(current, new, success, failure)
+            }
+
+            /// The value, without atomicity (`&mut self` proves
+            /// exclusivity).
+            pub fn get_mut(&mut self) -> &mut $ty {
+                self.inner.get_mut()
+            }
+
+            /// Consumes the atomic, returning the value.
+            pub fn into_inner(self) -> $ty {
+                self.inner.into_inner()
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                self.inner.fmt(f)
+            }
+        }
+
+        impl From<$ty> for $name {
+            fn from(v: $ty) -> Self {
+                Self::new(v)
+            }
+        }
+    };
+}
+
+macro_rules! atomic_arith {
+    ($name:ident, $ty:ty) => {
+        impl $name {
+            /// Adds to the value, returning the previous one.
+            pub fn fetch_add(&self, val: $ty, order: Ordering) -> $ty {
+                schedule_point();
+                self.inner.fetch_add(val, order)
+            }
+
+            /// Subtracts from the value, returning the previous one.
+            pub fn fetch_sub(&self, val: $ty, order: Ordering) -> $ty {
+                schedule_point();
+                self.inner.fetch_sub(val, order)
+            }
+        }
+    };
+}
+
+atomic_int!(
+    /// An instrumented `usize` atomic.
+    AtomicUsize,
+    AtomicUsize,
+    usize
+);
+atomic_int!(
+    /// An instrumented `u64` atomic.
+    AtomicU64,
+    AtomicU64,
+    u64
+);
+atomic_int!(
+    /// An instrumented boolean atomic.
+    AtomicBool,
+    AtomicBool,
+    bool
+);
+atomic_arith!(AtomicUsize, usize);
+atomic_arith!(AtomicU64, u64);

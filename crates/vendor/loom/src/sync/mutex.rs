@@ -1,0 +1,180 @@
+//! The instrumented mutex.
+
+use crate::rt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{LockResult, Mutex as StdMutex, PoisonError, TryLockError, TryLockResult};
+
+/// A mutual-exclusion lock with the `std::sync::Mutex` API that becomes a
+/// schedule point under the model checker.
+#[derive(Default)]
+pub struct Mutex<T: ?Sized> {
+    /// Lazily-claimed checker resource id (0 = none yet).
+    id: AtomicUsize,
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new unlocked mutex.
+    pub const fn new(t: T) -> Self {
+        Mutex {
+            id: AtomicUsize::new(0),
+            inner: StdMutex::new(t),
+        }
+    }
+
+    /// Consumes the mutex, returning the underlying data.
+    ///
+    /// # Errors
+    /// Returns the data wrapped in a [`PoisonError`] if the mutex was
+    /// poisoned.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    fn resource(&self) -> usize {
+        let id = self.id.load(Ordering::Relaxed);
+        if id != 0 {
+            return id;
+        }
+        let fresh = rt::alloc_resource();
+        match self
+            .id
+            .compare_exchange(0, fresh, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => fresh,
+            Err(existing) => existing,
+        }
+    }
+
+    /// Acquires the mutex, blocking (in a model run: descheduling) until
+    /// it is available.
+    ///
+    /// # Errors
+    /// Returns the guard wrapped in a [`PoisonError`] if another thread
+    /// panicked while holding the lock.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let Some(ctx) = rt::current() else {
+            return match self.inner.lock() {
+                Ok(g) => Ok(MutexGuard {
+                    inner: Some(g),
+                    release: None,
+                }),
+                Err(p) => Err(PoisonError::new(MutexGuard {
+                    inner: Some(p.into_inner()),
+                    release: None,
+                })),
+            };
+        };
+        let res = self.resource();
+        loop {
+            ctx.exec.switch_point(ctx.me);
+            match self.inner.try_lock() {
+                Ok(g) => {
+                    return Ok(MutexGuard {
+                        inner: Some(g),
+                        release: Some((ctx, res)),
+                    })
+                }
+                Err(TryLockError::Poisoned(p)) => {
+                    return Err(PoisonError::new(MutexGuard {
+                        inner: Some(p.into_inner()),
+                        release: Some((ctx, res)),
+                    }))
+                }
+                Err(TryLockError::WouldBlock) => ctx.exec.block_on(ctx.me, res),
+            }
+        }
+    }
+
+    /// Attempts to acquire the mutex without blocking.
+    ///
+    /// # Errors
+    /// [`TryLockError::WouldBlock`] if the lock is held,
+    /// [`TryLockError::Poisoned`] if it is poisoned.
+    pub fn try_lock(&self) -> TryLockResult<MutexGuard<'_, T>> {
+        let ctx = rt::current();
+        if let Some(ctx) = &ctx {
+            ctx.exec.switch_point(ctx.me);
+        }
+        let release = ctx.map(|c| {
+            let res = self.resource();
+            (c, res)
+        });
+        match self.inner.try_lock() {
+            Ok(g) => Ok(MutexGuard {
+                inner: Some(g),
+                release,
+            }),
+            Err(TryLockError::Poisoned(p)) => {
+                Err(TryLockError::Poisoned(PoisonError::new(MutexGuard {
+                    inner: Some(p.into_inner()),
+                    release,
+                })))
+            }
+            Err(TryLockError::WouldBlock) => Err(TryLockError::WouldBlock),
+        }
+    }
+
+    /// Whether the mutex is poisoned.
+    pub fn is_poisoned(&self) -> bool {
+        self.inner.is_poisoned()
+    }
+
+    /// Mutable access without locking (`&mut self` proves exclusivity).
+    ///
+    /// # Errors
+    /// Returns the reference wrapped in a [`PoisonError`] if poisoned.
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: std::fmt::Debug + ?Sized> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<T> From<T> for Mutex<T> {
+    fn from(t: T) -> Self {
+        Mutex::new(t)
+    }
+}
+
+/// RAII guard for [`Mutex`]; releasing it is a checker wake-up event.
+pub struct MutexGuard<'a, T: ?Sized> {
+    /// `Option` so `Drop` can release the std guard *before* notifying
+    /// the scheduler.
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    release: Option<(rt::Ctx, usize)>,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard taken only in Drop")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard taken only in Drop")
+    }
+}
+
+impl<T: std::fmt::Debug + ?Sized> std::fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        if let Some((ctx, res)) = self.release.take() {
+            ctx.exec.release(res);
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! The instrumented reader-writer lock.
+
+use crate::rt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{LockResult, PoisonError, RwLock as StdRwLock, TryLockError, TryLockResult};
+
+/// A reader-writer lock with the `std::sync::RwLock` API that becomes a
+/// schedule point under the model checker.
+#[derive(Default)]
+pub struct RwLock<T: ?Sized> {
+    id: AtomicUsize,
+    inner: StdRwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new unlocked lock.
+    pub const fn new(t: T) -> Self {
+        RwLock {
+            id: AtomicUsize::new(0),
+            inner: StdRwLock::new(t),
+        }
+    }
+
+    /// Consumes the lock, returning the underlying data.
+    ///
+    /// # Errors
+    /// Returns the data wrapped in a [`PoisonError`] if poisoned.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    fn resource(&self) -> usize {
+        let id = self.id.load(Ordering::Relaxed);
+        if id != 0 {
+            return id;
+        }
+        let fresh = rt::alloc_resource();
+        match self
+            .id
+            .compare_exchange(0, fresh, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => fresh,
+            Err(existing) => existing,
+        }
+    }
+
+    /// Acquires shared read access, blocking (in a model run:
+    /// descheduling) while a writer holds the lock.
+    ///
+    /// # Errors
+    /// Returns the guard wrapped in a [`PoisonError`] if poisoned.
+    pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+        let Some(ctx) = rt::current() else {
+            return match self.inner.read() {
+                Ok(g) => Ok(RwLockReadGuard {
+                    inner: Some(g),
+                    release: None,
+                }),
+                Err(p) => Err(PoisonError::new(RwLockReadGuard {
+                    inner: Some(p.into_inner()),
+                    release: None,
+                })),
+            };
+        };
+        let res = self.resource();
+        loop {
+            ctx.exec.switch_point(ctx.me);
+            match self.inner.try_read() {
+                Ok(g) => {
+                    return Ok(RwLockReadGuard {
+                        inner: Some(g),
+                        release: Some((ctx, res)),
+                    })
+                }
+                Err(TryLockError::Poisoned(p)) => {
+                    return Err(PoisonError::new(RwLockReadGuard {
+                        inner: Some(p.into_inner()),
+                        release: Some((ctx, res)),
+                    }))
+                }
+                Err(TryLockError::WouldBlock) => ctx.exec.block_on(ctx.me, res),
+            }
+        }
+    }
+
+    /// Acquires exclusive write access, blocking (in a model run:
+    /// descheduling) while any reader or writer holds the lock.
+    ///
+    /// # Errors
+    /// Returns the guard wrapped in a [`PoisonError`] if poisoned.
+    pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+        let Some(ctx) = rt::current() else {
+            return match self.inner.write() {
+                Ok(g) => Ok(RwLockWriteGuard {
+                    inner: Some(g),
+                    release: None,
+                }),
+                Err(p) => Err(PoisonError::new(RwLockWriteGuard {
+                    inner: Some(p.into_inner()),
+                    release: None,
+                })),
+            };
+        };
+        let res = self.resource();
+        loop {
+            ctx.exec.switch_point(ctx.me);
+            match self.inner.try_write() {
+                Ok(g) => {
+                    return Ok(RwLockWriteGuard {
+                        inner: Some(g),
+                        release: Some((ctx, res)),
+                    })
+                }
+                Err(TryLockError::Poisoned(p)) => {
+                    return Err(PoisonError::new(RwLockWriteGuard {
+                        inner: Some(p.into_inner()),
+                        release: Some((ctx, res)),
+                    }))
+                }
+                Err(TryLockError::WouldBlock) => ctx.exec.block_on(ctx.me, res),
+            }
+        }
+    }
+
+    /// Attempts shared read access without blocking.
+    ///
+    /// # Errors
+    /// [`TryLockError::WouldBlock`] when a writer holds the lock,
+    /// [`TryLockError::Poisoned`] when poisoned.
+    pub fn try_read(&self) -> TryLockResult<RwLockReadGuard<'_, T>> {
+        let ctx = rt::current();
+        if let Some(ctx) = &ctx {
+            ctx.exec.switch_point(ctx.me);
+        }
+        let release = ctx.map(|c| {
+            let res = self.resource();
+            (c, res)
+        });
+        match self.inner.try_read() {
+            Ok(g) => Ok(RwLockReadGuard {
+                inner: Some(g),
+                release,
+            }),
+            Err(TryLockError::Poisoned(p)) => {
+                Err(TryLockError::Poisoned(PoisonError::new(RwLockReadGuard {
+                    inner: Some(p.into_inner()),
+                    release,
+                })))
+            }
+            Err(TryLockError::WouldBlock) => Err(TryLockError::WouldBlock),
+        }
+    }
+
+    /// Whether the lock is poisoned.
+    pub fn is_poisoned(&self) -> bool {
+        self.inner.is_poisoned()
+    }
+
+    /// Mutable access without locking (`&mut self` proves exclusivity).
+    ///
+    /// # Errors
+    /// Returns the reference wrapped in a [`PoisonError`] if poisoned.
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: std::fmt::Debug + ?Sized> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<T> From<T> for RwLock<T> {
+    fn from(t: T) -> Self {
+        RwLock::new(t)
+    }
+}
+
+macro_rules! rw_guard {
+    ($name:ident, $std:ident, $(#[$doc:meta])*) => {
+        $(#[$doc])*
+        pub struct $name<'a, T: ?Sized> {
+            inner: Option<std::sync::$std<'a, T>>,
+            release: Option<(rt::Ctx, usize)>,
+        }
+
+        impl<T: ?Sized> std::ops::Deref for $name<'_, T> {
+            type Target = T;
+            fn deref(&self) -> &T {
+                self.inner.as_ref().expect("guard taken only in Drop")
+            }
+        }
+
+        impl<T: std::fmt::Debug + ?Sized> std::fmt::Debug for $name<'_, T> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                (**self).fmt(f)
+            }
+        }
+
+        impl<T: ?Sized> Drop for $name<'_, T> {
+            fn drop(&mut self) {
+                drop(self.inner.take());
+                if let Some((ctx, res)) = self.release.take() {
+                    ctx.exec.release(res);
+                }
+            }
+        }
+    };
+}
+
+rw_guard!(
+    RwLockReadGuard,
+    RwLockReadGuard,
+    /// Shared-access RAII guard for [`RwLock`]; releasing it is a checker
+    /// wake-up event.
+);
+rw_guard!(
+    RwLockWriteGuard,
+    RwLockWriteGuard,
+    /// Exclusive-access RAII guard for [`RwLock`]; releasing it is a
+    /// checker wake-up event.
+);
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard taken only in Drop")
+    }
+}

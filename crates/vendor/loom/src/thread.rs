@@ -1,0 +1,93 @@
+//! Instrumented thread spawning.
+//!
+//! Outside a model run [`spawn`] is `std::thread::spawn`. Inside one, the
+//! spawned closure becomes a new **model thread**: it runs under the
+//! scheduler's baton, its panics are reported as violations, and
+//! [`JoinHandle::join`] is a blocking schedule point like any lock.
+
+use crate::rt;
+use std::any::Any;
+use std::panic;
+use std::sync::{Arc as StdArc, Mutex as StdMutex};
+
+/// Handle to a spawned thread; mirrors `std::thread::JoinHandle`.
+pub struct JoinHandle<T> {
+    imp: Imp<T>,
+}
+
+enum Imp<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        target: usize,
+        slot: StdArc<StdMutex<Option<T>>>,
+    },
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result.
+    ///
+    /// # Errors
+    /// Returns `Err` if the thread panicked. In a model run the panic
+    /// payload itself is reported as the violation; the `Err` carries a
+    /// placeholder message.
+    ///
+    /// # Panics
+    /// In a model run, panics if joined from a thread outside the model.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.imp {
+            Imp::Std(h) => h.join(),
+            Imp::Model { target, slot } => {
+                let ctx = rt::current()
+                    .expect("a model thread's JoinHandle must be joined from a model thread");
+                ctx.exec.join_wait(ctx.me, target);
+                match slot.lock().unwrap_or_else(|e| e.into_inner()).take() {
+                    Some(v) => Ok(v),
+                    // The target panicked (already recorded as the run's
+                    // violation) so it never stored a value.
+                    None => Err(Box::new("the joined model thread panicked")
+                        as Box<dyn Any + Send + 'static>),
+                }
+            }
+        }
+    }
+}
+
+/// Spawns a thread. Inside a model run the thread is scheduled by the
+/// checker; outside, this is exactly `std::thread::spawn`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match rt::current() {
+        None => JoinHandle {
+            imp: Imp::Std(std::thread::spawn(f)),
+        },
+        Some(ctx) => {
+            let slot: StdArc<StdMutex<Option<T>>> = StdArc::new(StdMutex::new(None));
+            let slot2 = StdArc::clone(&slot);
+            let target = rt::spawn_model_thread(&ctx.exec, move || {
+                // On panic, leave the slot empty and re-raise so
+                // `spawn_model_thread`'s wrapper reports the violation.
+                match panic::catch_unwind(panic::AssertUnwindSafe(f)) {
+                    Ok(v) => *slot2.lock().unwrap_or_else(|e| e.into_inner()) = Some(v),
+                    Err(payload) => panic::resume_unwind(payload),
+                }
+            });
+            // The spawned thread is schedulable from here on.
+            ctx.exec.switch_point(ctx.me);
+            JoinHandle {
+                imp: Imp::Model { target, slot },
+            }
+        }
+    }
+}
+
+/// A pure schedule point: in a model run, offers the scheduler a switch;
+/// outside one, `std::thread::yield_now`.
+pub fn yield_now() {
+    match rt::current() {
+        Some(ctx) => ctx.exec.switch_point(ctx.me),
+        None => std::thread::yield_now(),
+    }
+}

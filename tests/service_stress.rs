@@ -1,0 +1,161 @@
+//! Std-scheduler stress test for the session lifecycle's exactly-once
+//! flush accounting.
+//!
+//! The model tests (`crates/service/tests/model_lifecycle.rs`) prove the
+//! flush protocol over *every* schedule of a small model; this test
+//! complements them from the other side: the *real* service, real OS
+//! scheduling, and a few hundred mixed requests with tight capacity and
+//! TTL limits so close, LRU eviction, TTL expiry, and shutdown drain all
+//! fire while marks race them. The books must balance exactly:
+//!
+//! * every session that had at least one acknowledged judgment appears in
+//!   the final log exactly once;
+//! * every acknowledged judgment appears in the final log exactly once
+//!   (an ack whose judgment misses the log would be a detached-session
+//!   mutation; a judgment counted twice would be a double flush).
+
+use corelog::cbir::{collect_log, CorelDataset, CorelSpec};
+use corelog::core::{LrfConfig, SchemeKind};
+use corelog::logdb::SimulationConfig;
+use corelog::service::{Request, Response, Service, ServiceConfig};
+use std::sync::Barrier;
+
+/// Per-thread tally of what the service acknowledged.
+#[derive(Default)]
+struct Acked {
+    /// Sessions with at least one acknowledged mark.
+    sessions: usize,
+    /// Total acknowledged marks.
+    marks: usize,
+}
+
+/// Drives `n_sessions` sessions: mark a few images, occasionally rerank
+/// and page, close half and abandon the rest to eviction/TTL/drain.
+fn drive(svc: &Service, thread: usize, n_sessions: usize, scheme: SchemeKind) -> Acked {
+    let n_images = svc.db().len();
+    let mut acked = Acked::default();
+    for round in 0..n_sessions {
+        let Response::Opened { session, .. } = svc.handle(Request::Open {
+            query: (thread * 7 + round) % n_images,
+            scheme,
+        }) else {
+            panic!("open failed")
+        };
+        let mut marks_here = 0usize;
+        for j in 0..3usize {
+            // Distinct images per session, so every ack is one judgment.
+            let image = (thread * 31 + round * 5 + j * 11) % n_images;
+            let resp = svc.handle(Request::Mark {
+                session,
+                image,
+                relevant: j % 2 == 0,
+            });
+            match resp {
+                Response::Marked { .. } => marks_here += 1,
+                // The session can expire under us (TTL or LRU) — that is
+                // the point of the stress; duplicates cannot happen
+                // (images are distinct) so any error means expiry.
+                Response::Error { .. } => {}
+                other => panic!("unexpected mark response: {other:?}"),
+            }
+        }
+        if round % 2 == 0 {
+            // Exercise the read paths; their acks don't affect the books.
+            svc.handle(Request::Rerank { session });
+            svc.handle(Request::Page {
+                session,
+                offset: 0,
+                count: 4,
+            });
+            svc.handle(Request::Close { session });
+        }
+        // Odd rounds: abandon the session to eviction/TTL/final drain.
+        if marks_here > 0 {
+            acked.sessions += 1;
+            acked.marks += marks_here;
+        }
+    }
+    acked
+}
+
+#[test]
+fn stress_traffic_balances_the_flush_books_exactly() {
+    let ds = CorelDataset::build(CorelSpec::tiny(4, 12, 19));
+    let log = collect_log(
+        &ds.db,
+        &SimulationConfig {
+            n_sessions: 10,
+            judged_per_session: 6,
+            rounds_per_query: 1,
+            noise: 0.1,
+            seed: 23,
+        },
+    );
+    let initial_sessions = log.n_sessions();
+    let initial_judgments: usize = (0..initial_sessions).map(|s| log.session(s).len()).sum();
+    let svc = Service::new(
+        ds.db,
+        log,
+        ServiceConfig {
+            // Tight limits so capacity eviction and TTL expiry both fire
+            // constantly under the racing marks.
+            max_sessions: 3,
+            ttl_requests: 8,
+            screen_size: 4,
+            pool_size: 16,
+            lrf: LrfConfig {
+                n_unlabeled: 8,
+                ..LrfConfig::default()
+            },
+        },
+    );
+
+    let n_threads = 4;
+    let per_thread_sessions = 8;
+    let barrier = Barrier::new(n_threads);
+    let acked: Vec<Acked> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_threads)
+            .map(|t| {
+                let svc = &svc;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    // One thread retrains real SVMs; the rest hammer the
+                    // table with the cheap scheme.
+                    let scheme = if t == 0 {
+                        SchemeKind::RfSvm
+                    } else {
+                        SchemeKind::Euclidean
+                    };
+                    barrier.wait();
+                    drive(svc, t, per_thread_sessions, scheme)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let acked_sessions: usize = acked.iter().map(|a| a.sessions).sum();
+    let acked_marks: usize = acked.iter().map(|a| a.marks).sum();
+    assert!(
+        acked_sessions > 0,
+        "stress produced no acknowledged session"
+    );
+
+    // Shutdown drains whatever is still resident, so after this every
+    // judged session has been flushed through exactly one of: close,
+    // LRU eviction, TTL expiry, drain.
+    let final_log = svc.into_log();
+    assert_eq!(
+        final_log.n_sessions(),
+        initial_sessions + acked_sessions,
+        "sessions with acknowledged judgments must flush exactly once"
+    );
+    let final_judgments: usize = (0..final_log.n_sessions())
+        .map(|s| final_log.session(s).len())
+        .sum();
+    assert_eq!(
+        final_judgments,
+        initial_judgments + acked_marks,
+        "acknowledged judgments must reach the log exactly once"
+    );
+}

@@ -29,7 +29,9 @@ JSON="$OUT_DIR/BENCH_ci.json"
 # (absorbs runner noise; any real regression is far larger than 10%).
 MARGIN_PCT=10
 
-CORES="$(nproc)"
+# Portable core detection: nproc (GNU), sysctl (macOS/BSD), getconf
+# (POSIX); 1 if all else fails so the gate degrades to report-only.
+CORES="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
 echo "bench_check: running quick-mode benches on ${CORES} core(s)"
 
 : > "$RAW"
