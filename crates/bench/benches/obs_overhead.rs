@@ -1,0 +1,125 @@
+//! Criterion bench: cost of the observability layer on the service path.
+//!
+//! Runs the same complete feedback loop twice against fresh services —
+//! once with full instrumentation (`ServiceMetrics::new`: stage timers on
+//! the monotonic clock + all counters), once against the untimed baseline
+//! (`ServiceMetrics::disabled`: counters only, zero clock reads). The CI
+//! gate (`tools/bench_check.sh`) fails if the timed build costs more than
+//! 5 % over the baseline — the budget that keeps tracing always-on in
+//! production.
+//!
+//! Set `BENCH_QUICK=1` for the CI smoke configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lrf_cbir::{build_flat_index, collect_log, CorelDataset, CorelSpec};
+use lrf_core::{LrfConfig, SchemeKind};
+use lrf_index::AnnIndex;
+use lrf_logdb::SimulationConfig;
+use lrf_service::{Request, Response, Service, ServiceConfig, ServiceMetrics};
+use std::hint::black_box;
+
+fn quick() -> bool {
+    std::env::var("BENCH_QUICK").is_ok()
+}
+
+fn build_corpus() -> (lrf_cbir::ImageDatabase, lrf_logdb::LogStore) {
+    let (categories, per_category) = if quick() { (4, 12) } else { (8, 40) };
+    let ds = CorelDataset::build(CorelSpec::tiny(categories, per_category, 19));
+    let log = collect_log(
+        &ds.db,
+        &SimulationConfig {
+            n_sessions: 30,
+            judged_per_session: 10,
+            rounds_per_query: 2,
+            noise: 0.1,
+            seed: 23,
+        },
+    );
+    (ds.db, log)
+}
+
+fn service_config() -> ServiceConfig {
+    ServiceConfig {
+        max_sessions: 256,
+        ttl_requests: 0,
+        screen_size: 10,
+        pool_size: 60,
+        lrf: LrfConfig {
+            n_unlabeled: 8,
+            ..LrfConfig::default()
+        },
+    }
+}
+
+/// One complete feedback loop (open → judge → rerank ×2 → close), the same
+/// workload as `service_throughput`; returns a checksum so the work is not
+/// elided.
+fn run_session(svc: &Service, query: usize) -> usize {
+    let Response::Opened { session, screen } = svc.handle(Request::Open {
+        query,
+        scheme: SchemeKind::LrfCsvm,
+    }) else {
+        panic!("open failed")
+    };
+    for &id in &screen {
+        svc.handle(Request::Mark {
+            session,
+            image: id,
+            relevant: svc.db().same_category(id, query),
+        });
+    }
+    let Response::Reranked { page, .. } = svc.handle(Request::Rerank { session }) else {
+        panic!("rerank failed")
+    };
+    for &id in &page {
+        let _ = svc.handle(Request::Mark {
+            session,
+            image: id,
+            relevant: svc.db().same_category(id, query),
+        });
+    }
+    let Response::Reranked { page, .. } = svc.handle(Request::Rerank { session }) else {
+        panic!("rerank failed")
+    };
+    let checksum: usize = page.iter().sum();
+    svc.handle(Request::Close { session });
+    checksum
+}
+
+fn service_with(db: &lrf_cbir::ImageDatabase, log: &lrf_logdb::LogStore, timed: bool) -> Service {
+    let db = db.clone();
+    let index: Box<dyn AnnIndex> = Box::new(build_flat_index(&db));
+    let metrics = if timed {
+        ServiceMetrics::new()
+    } else {
+        ServiceMetrics::disabled()
+    };
+    Service::with_metrics(db, index, log.clone(), service_config(), metrics)
+}
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let (db, log) = build_corpus();
+    let n_sessions = 4usize;
+    let n_images = db.len();
+    let queries: Vec<usize> = (0..n_sessions).map(|i| (i * 17 + 3) % n_images).collect();
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(10);
+    group.bench_function("untimed", |b| {
+        b.iter(|| {
+            let svc = service_with(&db, &log, false);
+            let total: usize = queries.iter().map(|&q| run_session(&svc, q)).sum();
+            black_box(total)
+        })
+    });
+    group.bench_function("timed", |b| {
+        b.iter(|| {
+            let svc = service_with(&db, &log, true);
+            let total: usize = queries.iter().map(|&q| run_session(&svc, q)).sum();
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

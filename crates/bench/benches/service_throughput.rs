@@ -95,6 +95,42 @@ fn run_session(svc: &Service, query: usize) -> usize {
     checksum
 }
 
+/// Per-request latency percentiles, measured by the service's own
+/// observability layer: drive a fixed session mix, then read the
+/// `request_latency_ns` / `stage_*_ns` histograms back out of the metrics
+/// endpoint. Printed in the harness's `bench … ns/iter` line format so
+/// `tools/bench_check.sh` parses and persists them (BENCH_latency.json)
+/// alongside the throughput numbers.
+fn report_latency_percentiles() {
+    let (db, log) = build_corpus();
+    let n_images = db.len();
+    let svc = Service::new(db, log, service_config());
+    let sessions = if quick() { 4 } else { 16 };
+    for i in 0..sessions {
+        run_session(&svc, (i * 17 + 3) % n_images);
+    }
+    let snapshot = svc.metrics_snapshot();
+    let stages = [
+        ("request", "request_latency_ns"),
+        ("session_lookup", "stage_session_lookup_ns"),
+        ("scoring", "stage_scoring_ns"),
+        ("retrain", "stage_retrain_ns"),
+        ("flush", "stage_flush_ns"),
+    ];
+    for (label, name) in stages {
+        let h = snapshot
+            .histogram(name)
+            .expect("stage histogram registered");
+        for (q, q_label) in [(0.50, "p50"), (0.95, "p95"), (0.99, "p99")] {
+            println!(
+                "bench {:<40} {:>14} ns/iter",
+                format!("service_latency/{label}/{q_label}"),
+                h.quantile(q)
+            );
+        }
+    }
+}
+
 fn bench_service_throughput(c: &mut Criterion) {
     let (db, log) = build_corpus();
     let session_counts: Vec<usize> = if quick() { vec![4] } else { vec![4, 8, 16] };
@@ -129,6 +165,7 @@ fn bench_service_throughput(c: &mut Criterion) {
         });
     }
     group.finish();
+    report_latency_percentiles();
 }
 
 criterion_group!(benches, bench_service_throughput);

@@ -5,6 +5,7 @@ use lrf_core::{
     EuclideanScheme, Lrf2Svms, LrfConfig, LrfCsvm, QueryContext, RelevanceFeedback, RfSvm,
 };
 use lrf_logdb::{LogStore, SimulationConfig};
+use lrf_obs::{Clock, MonotonicClock};
 use serde::{Deserialize, Serialize};
 
 /// Which schemes an experiment evaluates.
@@ -171,7 +172,7 @@ pub fn run_on_prepared(
     let protocol: QueryProtocol = spec.protocol.into();
     let queries = protocol.sample_queries(&dataset.db);
 
-    let started = std::time::Instant::now();
+    let clock = MonotonicClock::new();
     let n_threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -228,7 +229,7 @@ pub fn run_on_prepared(
 
     ExperimentResult {
         curves,
-        eval_seconds: started.elapsed().as_secs_f64(),
+        eval_seconds: clock.now_ns() as f64 / 1e9,
         n_queries: queries.len(),
     }
 }

@@ -24,7 +24,7 @@
 //! IVF/LSH trade a bounded recall loss for sublinear distance work.
 
 use crate::database::ImageDatabase;
-use lrf_index::{AnnIndex, FlatIndex, IvfConfig, IvfIndex, LshConfig, LshIndex};
+use lrf_index::{AnnIndex, FlatIndex, IvfConfig, IvfIndex, LshConfig, LshIndex, SearchStats};
 
 /// Builds the exact (flat) index over the database — the default backend.
 /// The index shares the database's feature allocation (no copy).
@@ -64,8 +64,20 @@ pub fn rank_with_index(
     index: &dyn AnnIndex,
     query_feature: &[f64],
 ) -> Vec<usize> {
+    rank_with_index_stats(db, index, query_feature).0
+}
+
+/// [`rank_with_index`] plus the backend's per-query [`SearchStats`]
+/// (distance evaluations, candidates, buckets probed), for callers that
+/// account index work per request.
+pub fn rank_with_index_stats(
+    db: &ImageDatabase,
+    index: &dyn AnnIndex,
+    query_feature: &[f64],
+) -> (Vec<usize>, SearchStats) {
     let n = db.len();
-    let mut ranked = top_k_ids(index, query_feature, n);
+    let (neighbors, stats) = index.search_with_stats(query_feature, n);
+    let mut ranked: Vec<usize> = neighbors.into_iter().map(|(id, _)| id).collect();
     if ranked.len() < n {
         let mut in_ranked = vec![false; n];
         for &id in &ranked {
@@ -73,7 +85,7 @@ pub fn rank_with_index(
         }
         ranked.extend((0..n).filter(|&id| !in_ranked[id]));
     }
-    ranked
+    (ranked, stats)
 }
 
 #[cfg(test)]

@@ -16,7 +16,7 @@
 //! pooled path is a strict generalization of the reproduction.
 
 use crate::feedback::{QueryContext, RelevanceFeedback, WarmState};
-use lrf_index::AnnIndex;
+use lrf_index::{AnnIndex, SearchStats};
 
 /// The two-stage (index → re-rank) retrieval driver.
 #[derive(Clone, Copy)]
@@ -39,13 +39,18 @@ impl<'a> PooledRetrieval<'a> {
     /// labeled ids appended if an approximate backend missed any — the
     /// scheme trained on them, so they must be rankable.
     pub fn pool(&self, ctx: &QueryContext<'_>) -> Vec<usize> {
+        self.pool_with_stats(ctx).0
+    }
+
+    /// [`pool`](Self::pool) plus the index's per-query [`SearchStats`]
+    /// (distance evaluations, candidates, buckets probed) so a serving
+    /// layer can account the candidate-generation work per request.
+    pub fn pool_with_stats(&self, ctx: &QueryContext<'_>) -> (Vec<usize>, SearchStats) {
         let query_feature = ctx.db.feature(ctx.example.query);
-        let mut pool: Vec<usize> = self
+        let (neighbors, stats) = self
             .index
-            .search(query_feature, self.pool_size.min(ctx.db.len()))
-            .into_iter()
-            .map(|(id, _)| id)
-            .collect();
+            .search_with_stats(query_feature, self.pool_size.min(ctx.db.len()));
+        let mut pool: Vec<usize> = neighbors.into_iter().map(|(id, _)| id).collect();
         let mut in_pool = vec![false; ctx.db.len()];
         for &id in &pool {
             in_pool[id] = true;
@@ -56,7 +61,7 @@ impl<'a> PooledRetrieval<'a> {
                 pool.push(id);
             }
         }
-        pool
+        (pool, stats)
     }
 
     /// Full-database ranking: pool members re-ranked by the scheme's
@@ -236,6 +241,33 @@ mod tests {
             sorted.sort_unstable();
             assert_eq!(sorted, (0..ds.db.len()).collect::<Vec<_>>(), "query {q}");
         }
+    }
+
+    #[test]
+    fn pool_with_stats_accounts_the_search_work() {
+        let (ds, log) = setup();
+        let index = lrf_cbir::build_flat_index(&ds.db);
+        let pooled = PooledRetrieval::new(&index, 12);
+        let proto = QueryProtocol {
+            n_queries: 1,
+            n_labeled: 6,
+            seed: 0,
+        };
+        let example = proto.feedback_example(&ds.db, 3);
+        let ctx = QueryContext {
+            db: &ds.db,
+            log: &log,
+            example: &example,
+        };
+        let (pool, stats) = pooled.pool_with_stats(&ctx);
+        assert_eq!(
+            pool,
+            pooled.pool(&ctx),
+            "stats variant must not change the pool"
+        );
+        // The flat backend evaluates every database distance per query.
+        assert_eq!(stats.distance_evals, ds.db.len());
+        assert!(stats.candidates > 0);
     }
 
     #[test]

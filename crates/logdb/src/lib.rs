@@ -35,7 +35,7 @@ pub mod sparse;
 pub mod store;
 
 pub use session::{LogSession, Relevance};
-pub use shared::SharedLogStore;
+pub use shared::{LogStoreCounters, SharedLogStore};
 pub use simulate::{simulate_sessions, SimulationConfig};
 pub use sparse::SparseVector;
 pub use store::LogStore;

@@ -25,6 +25,7 @@
 
 use crate::session::LogSession;
 use crate::store::LogStore;
+use lrf_obs::Counter;
 use lrf_sync::{Arc, Mutex, MutexExt, PoisonError, RwLock, RwLockExt};
 
 /// An interior-locked, copy-on-write [`LogStore`] for concurrent services.
@@ -37,6 +38,26 @@ pub struct SharedLogStore {
     /// append (two appenders cloning the same base would drop one
     /// session).
     append: Mutex<()>,
+    /// Event counters behind `Arc` handles so a service can adopt them
+    /// into its `lrf_obs::Registry` (see [`SharedLogStore::counters`]).
+    snapshots: Arc<Counter>,
+    appends: Arc<Counter>,
+    cow_clones: Arc<Counter>,
+}
+
+/// Shared handles to a [`SharedLogStore`]'s internal event counters, for
+/// adoption into an [`lrf_obs::Registry`] — the store counts, the
+/// registry reports.
+#[derive(Clone, Debug)]
+pub struct LogStoreCounters {
+    /// `snapshot()` calls served (one per retrieval round, plus the
+    /// store's own reads).
+    pub snapshots: Arc<Counter>,
+    /// Sessions appended via `record()`.
+    pub appends: Arc<Counter>,
+    /// Appends that had to copy the store because snapshots were
+    /// outstanding (the slow, flush-path-only case).
+    pub cow_clones: Arc<Counter>,
 }
 
 impl SharedLogStore {
@@ -53,6 +74,20 @@ impl SharedLogStore {
         Self {
             inner: RwLock::new(Arc::new(store)),
             append: Mutex::new(()),
+            snapshots: Arc::new(Counter::new()),
+            appends: Arc::new(Counter::new()),
+            cow_clones: Arc::new(Counter::new()),
+        }
+    }
+
+    /// Handles to the store's event counters (snapshots, appends,
+    /// copy-on-write clones). The handles stay live for the store's
+    /// lifetime; adopt them into a registry to expose them.
+    pub fn counters(&self) -> LogStoreCounters {
+        LogStoreCounters {
+            snapshots: Arc::clone(&self.snapshots),
+            appends: Arc::clone(&self.appends),
+            cow_clones: Arc::clone(&self.cow_clones),
         }
     }
 
@@ -63,6 +98,7 @@ impl SharedLogStore {
     /// protocol only ever publishes fully-built stores (the swap is a
     /// pointer assignment), so even a poisoned cell holds a valid store.
     pub fn snapshot(&self) -> Arc<LogStore> {
+        self.snapshots.inc();
         Arc::clone(&self.inner.read_recover())
     }
 
@@ -72,6 +108,7 @@ impl SharedLogStore {
     /// than a pointer swap, even when the append has to copy the store.
     pub fn record(&self, session: LogSession) -> usize {
         let _appender = self.append.lock_recover();
+        self.appends.inc();
         {
             let mut guard = self.inner.write_recover();
             // No snapshot outstanding (`guard` holds the only Arc): mutate
@@ -83,6 +120,7 @@ impl SharedLogStore {
         // Snapshots outstanding: copy the store without holding the
         // reader-facing lock (the append mutex keeps this base current —
         // no other appender can swap underneath us).
+        self.cow_clones.inc();
         let base = self.snapshot();
         let mut next = (*base).clone();
         drop(base);
@@ -179,6 +217,22 @@ mod tests {
             }
         });
         assert_eq!(shared.n_sessions(), 100);
+    }
+
+    #[test]
+    fn counters_track_snapshots_appends_and_cow_clones() {
+        let shared = SharedLogStore::new(4);
+        let c = shared.counters();
+        shared.record(session(&[(0, true)])); // no snapshot held: in place
+        assert_eq!((c.appends.get(), c.cow_clones.get()), (1, 0));
+        let held = shared.snapshot();
+        shared.record(session(&[(1, true)])); // snapshot held: must copy
+        assert_eq!((c.appends.get(), c.cow_clones.get()), (2, 1));
+        drop(held);
+        assert!(c.snapshots.get() >= 1);
+        // The handles outlive the wrapper.
+        drop(shared);
+        assert_eq!(c.appends.get(), 2);
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! The injectable time source.
+//!
+//! Nothing in the workspace outside this module reads the wall clock
+//! (`tools/lint`'s `wall-clock` rule enforces it): timed code takes a
+//! [`Clock`] and the caller decides whether time is real
+//! ([`MonotonicClock`]) or logical ([`ManualClock`]). That keeps session
+//! logic deterministic and lets tests drive span durations by hand.
+
+use lrf_sync::atomic::{AtomicU64, Ordering};
+
+/// A monotone nanosecond source.
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since the clock's origin. Monotone non-decreasing.
+    fn now_ns(&self) -> u64;
+}
+
+/// A shared clock handle. Plain `std::sync::Arc` (not the facade's
+/// instrumented one, which cannot hold trait objects): the handle itself
+/// carries no state the model checker needs to interleave.
+pub type ClockRef = std::sync::Arc<dyn Clock>;
+
+/// Real time, anchored at construction — the production clock, and the
+/// single sanctioned wall-clock read site in the workspace.
+#[derive(Clone, Copy, Debug)]
+pub struct MonotonicClock {
+    // lrf-lint: allow(wall-clock): MonotonicClock IS the Clock trait's
+    // production backend — the one place wall time may be read. Everything
+    // else injects `Clock`.
+    origin: std::time::Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose origin is now.
+    pub fn new() -> Self {
+        Self {
+            // lrf-lint: allow(wall-clock): the sanctioned wall-clock read
+            // (see the field's justification above)
+            origin: std::time::Instant::now(),
+        }
+    }
+
+    /// A shared handle to a fresh monotonic clock.
+    pub fn shared() -> ClockRef {
+        std::sync::Arc::new(Self::new())
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        // > 500 years of nanoseconds fit in u64; the cast cannot
+        // realistically truncate, but saturate anyway.
+        u64::try_from(self.origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A hand-driven logical clock for tests: starts at 0, advances only when
+/// told to. Shared freely across threads.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    now: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock at 0 ns.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A shared handle to a fresh manual clock. Keep a second
+    /// `std::sync::Arc` clone to advance it after handing this one off.
+    pub fn shared() -> std::sync::Arc<ManualClock> {
+        std::sync::Arc::new(Self::new())
+    }
+
+    /// Moves time forward by `ns`.
+    pub fn advance(&self, ns: u64) {
+        self.now.fetch_add(ns, Ordering::Relaxed);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ns(&self) -> u64 {
+        self.now.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_is_monotone() {
+        let c = MonotonicClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_advances_only_by_hand() {
+        let c = ManualClock::new();
+        assert_eq!(c.now_ns(), 0);
+        c.advance(250);
+        c.advance(50);
+        assert_eq!(c.now_ns(), 300);
+    }
+
+    #[test]
+    fn clocks_erase_to_trait_objects() {
+        let manual = ManualClock::shared();
+        let clocks: Vec<ClockRef> = vec![MonotonicClock::shared(), manual.clone()];
+        manual.advance(7);
+        assert_eq!(clocks[1].now_ns(), 7);
+    }
+}

@@ -1,0 +1,126 @@
+//! Prometheus text-format rendering of a [`RegistrySnapshot`].
+//!
+//! Produces [exposition format 0.0.4] — the plain-text page a
+//! `/metrics` endpoint serves. Counters and gauges render as single
+//! samples; histograms render as the conventional cumulative
+//! `_bucket{le="…"}` series plus `_sum` and `_count`, with `le`
+//! thresholds taken from the log-linear buckets' inclusive upper bounds.
+//!
+//! Instrument names are sanitized into the metric-name alphabet
+//! (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every other character becomes `_`, and a
+//! leading digit gets a `_` prefix.
+//!
+//! [exposition format 0.0.4]:
+//!     https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use crate::metrics::bucket_bounds;
+use crate::registry::RegistrySnapshot;
+use std::fmt::Write as _;
+
+/// A metric name restricted to the Prometheus alphabet.
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Renders the snapshot as a Prometheus text page.
+pub fn render(snapshot: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    for c in &snapshot.counters {
+        let name = sanitize(&c.name);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {}", c.value);
+    }
+    for g in &snapshot.gauges {
+        let name = sanitize(&g.name);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {}", g.value);
+    }
+    for h in &snapshot.histograms {
+        let name = sanitize(&h.name);
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for b in &h.histogram.buckets {
+            cumulative += b.count;
+            let (_, hi) = bucket_bounds(b.index);
+            let _ = writeln!(out, "{name}_bucket{{le=\"{hi}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.histogram.count);
+        let _ = writeln!(out, "{name}_sum {}", h.histogram.sum);
+        let _ = writeln!(out, "{name}_count {}", h.histogram.count);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn sanitizes_names_into_the_metric_alphabet() {
+        assert_eq!(sanitize("request_latency_ns"), "request_latency_ns");
+        assert_eq!(
+            sanitize("stage/session-lookup.ns"),
+            "stage_session_lookup_ns"
+        );
+        assert_eq!(sanitize("9lives"), "_9lives");
+        assert_eq!(sanitize(""), "_");
+    }
+
+    #[test]
+    fn renders_counters_gauges_and_cumulative_histograms() {
+        let r = Registry::new();
+        r.counter("requests_total").add(3);
+        r.gauge("active_sessions").set(2);
+        let h = r.histogram("latency_ns");
+        h.record(5);
+        h.record(5);
+        h.record(40);
+        let page = render(&r.snapshot());
+
+        assert!(page.contains("# TYPE requests_total counter\nrequests_total 3\n"));
+        assert!(page.contains("# TYPE active_sessions gauge\nactive_sessions 2\n"));
+        assert!(page.contains("# TYPE latency_ns histogram\n"));
+        // Buckets are cumulative: two samples at 5, then three total ≤ 40.
+        assert!(page.contains("latency_ns_bucket{le=\"5\"} 2\n"));
+        assert!(page.contains("latency_ns_bucket{le=\"40\"} 3\n"));
+        assert!(page.contains("latency_ns_bucket{le=\"+Inf\"} 3\n"));
+        assert!(page.contains("latency_ns_sum 50\n"));
+        assert!(page.contains("latency_ns_count 3\n"));
+    }
+
+    #[test]
+    fn every_line_is_well_formed() {
+        let r = Registry::new();
+        r.counter("c").add(1);
+        r.gauge("g").set(1);
+        r.histogram("h").record(123_456);
+        for line in render(&r.snapshot()).lines() {
+            assert!(
+                line.starts_with("# TYPE ") || {
+                    let mut parts = line.split(' ');
+                    let name = parts.next().unwrap_or("");
+                    let value = parts.next().unwrap_or("");
+                    let name_ok = name
+                        .trim_end_matches(|c: char| c != '}' && c != '{')
+                        .chars()
+                        .take_while(|&c| c != '{')
+                        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':');
+                    name_ok && value.parse::<u64>().is_ok() && parts.next().is_none()
+                },
+                "malformed line: {line}"
+            );
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Model-checked invariants of the lock-free instruments.
+//!
+//! The observability layer sits on the hottest paths, so its claims are
+//! proved, not assumed, under the vendored loom-style checker (every
+//! interleaving of the instrumented atomic operations within the bounded
+//! schedule space):
+//!
+//! * **Losslessness** — N concurrent `inc`/`record` calls always land as
+//!   N counted events once the threads join.
+//! * **Tear-freedom** — a snapshot racing the recorders never observes a
+//!   state where a sample's bucket count is visible but its contribution
+//!   to `sum`/`max` is not (the release-before-bucket / acquire-buckets-
+//!   first protocol documented in `lrf_obs::metrics`).
+//!
+//! The histograms here use `with_max_value` to keep the atomic count (and
+//! thus the schedule space) small; the bucket math itself is covered by
+//! unit and property tests in the crate.
+
+use lrf_obs::{Counter, Histogram, Registry};
+use lrf_sync::Arc;
+
+#[test]
+fn concurrent_counter_increments_are_lossless() {
+    let report = loom::explore(|| {
+        let c = Arc::new(Counter::new());
+        let t = {
+            let c = Arc::clone(&c);
+            loom::thread::spawn(move || {
+                c.inc();
+                c.add(2);
+            })
+        };
+        c.inc();
+        // A racing read sees some prefix of the four increments.
+        assert!(c.get() <= 4);
+        t.join().unwrap();
+        assert_eq!(c.get(), 4, "an increment was lost");
+    })
+    .expect("counter increments must be lossless");
+    assert!(report.executions > 1);
+}
+
+#[test]
+fn concurrent_histogram_records_are_lossless_and_snapshots_tear_free() {
+    let report = loom::explore(|| {
+        // Two buckets only (values clamp to 1): the smallest histogram
+        // that still exercises the sum/max/bucket ordering protocol.
+        let h = Arc::new(Histogram::with_max_value(1));
+        let recorders: Vec<_> = (0..2)
+            .map(|_| {
+                let h = Arc::clone(&h);
+                loom::thread::spawn(move || h.record(1))
+            })
+            .collect();
+        // Snapshot racing both recorders: every record whose bucket count
+        // is visible must already be in sum (≥) and bounded by max.
+        let s = h.snapshot();
+        assert!(s.count <= 2, "phantom record: count {}", s.count);
+        assert!(
+            s.sum >= s.count,
+            "torn snapshot: {} records visible but sum {}",
+            s.count,
+            s.sum
+        );
+        assert!(s.sum <= 2, "sum overshot the records started");
+        if s.count > 0 {
+            assert_eq!(s.max, 1, "record visible before its max was published");
+        }
+        for r in recorders {
+            r.join().unwrap();
+        }
+        let final_snap = h.snapshot();
+        assert_eq!(final_snap.count, 2, "a record was lost");
+        assert_eq!(final_snap.sum, 2);
+        assert_eq!(final_snap.max, 1);
+    })
+    .expect("histogram records must be lossless and snapshots tear-free");
+    assert!(report.executions > 1);
+}
+
+#[test]
+fn racing_get_or_create_yields_one_instrument() {
+    let report = loom::explore(|| {
+        let r = Arc::new(Registry::new());
+        let t = {
+            let r = Arc::clone(&r);
+            loom::thread::spawn(move || r.counter("requests_total").inc())
+        };
+        r.counter("requests_total").inc();
+        t.join().unwrap();
+        assert_eq!(
+            r.snapshot().counter("requests_total"),
+            Some(2),
+            "the racing registrations must resolve to one shared counter"
+        );
+    })
+    .expect("registry get-or-create must be race-free");
+    assert!(report.executions > 1);
+}

@@ -8,6 +8,7 @@
 //! [`Response::Error`]; the service never panics on client input.
 
 use lrf_core::{RoundError, SchemeKind};
+use lrf_obs::RegistrySnapshot;
 use serde::{Deserialize, Serialize};
 
 /// One client request to the feedback service.
@@ -53,6 +54,9 @@ pub enum Request {
     },
     /// Service-level counters.
     Stats,
+    /// Full observability snapshot: every registered counter, gauge and
+    /// per-stage latency histogram (see [`crate::metrics::names`]).
+    Metrics,
 }
 
 /// The service's answer to one [`Request`].
@@ -117,6 +121,13 @@ pub enum Response {
         /// since this instance started — a rising counter means the
         /// iteration budget is too small for the workload.
         nonconverged_retrains: usize,
+    },
+    /// The observability snapshot. Integer-only and order-stable, so it
+    /// round-trips exactly through JSON; render it as Prometheus text with
+    /// [`lrf_obs::prometheus::render`].
+    Metrics {
+        /// Every registered instrument, frozen.
+        snapshot: RegistrySnapshot,
     },
     /// The request failed; the session (if any) is otherwise unaffected.
     Error {
@@ -230,6 +241,7 @@ mod tests {
             },
             Request::Close { session: 7 },
             Request::Stats,
+            Request::Metrics,
         ];
         for req in reqs {
             let json = serde_json::to_string(&req).unwrap();
@@ -266,6 +278,15 @@ mod tests {
                 n_images: 2000,
                 flushed_sessions: 9,
                 nonconverged_retrains: 1,
+            },
+            Response::Metrics {
+                snapshot: {
+                    let r = lrf_obs::Registry::new();
+                    r.counter("requests_total").add(4);
+                    r.gauge("active_sessions").set(2);
+                    r.histogram("request_latency_ns").record(12_345);
+                    r.snapshot()
+                },
             },
         ];
         for resp in resps {

@@ -62,9 +62,11 @@
 pub mod api;
 pub mod flush;
 pub mod manager;
+pub mod metrics;
 pub mod service;
 
 pub use api::{Request, Response, ServiceError};
 pub use flush::Flushable;
 pub use manager::{EvictReason, Evicted, SessionGone, SessionManager};
+pub use metrics::ServiceMetrics;
 pub use service::{Service, ServiceConfig};

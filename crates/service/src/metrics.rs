@@ -1,0 +1,265 @@
+//! Per-service observability: the registry, the clock, and the retained
+//! instrument handles the request path records through.
+//!
+//! Each [`crate::Service`] owns one [`ServiceMetrics`] (registries are
+//! per-instance, never global, so tests can assert exact counts under
+//! parallel test threads). Handles are resolved once here; the request
+//! path then records through lock-free atomics and never touches the
+//! registry's name table.
+//!
+//! Stage timers read the injected [`Clock`]: a [`MonotonicClock`] in
+//! production, a [`lrf_obs::ManualClock`] in tests (deterministic
+//! latencies), or no clock at all in the [`ServiceMetrics::disabled`]
+//! build — the baseline the CI overhead gate compares against. Event
+//! counters are *always* live: they back the public `Stats` endpoint,
+//! and a handful of relaxed atomic increments is noise next to a single
+//! kernel evaluation.
+
+use lrf_obs::{
+    Clock, ClockRef, Counter, Gauge, Histogram, MonotonicClock, Registry, RegistrySnapshot,
+    SpanTimer,
+};
+use lrf_sync::Arc;
+
+/// Instrument names the service registers (one source of truth for the
+/// endpoint's consumers; see the crate README's Observability section).
+pub mod names {
+    /// Requests handled, any kind, any outcome.
+    pub const REQUESTS_TOTAL: &str = "requests_total";
+    /// End-to-end `handle()` latency.
+    pub const REQUEST_LATENCY: &str = "request_latency_ns";
+    /// Session-table work per request (lookup / insert / remove).
+    pub const STAGE_SESSION_LOOKUP: &str = "stage_session_lookup_ns";
+    /// Coupled-SVM retrain + re-rank per `Rerank` request.
+    pub const STAGE_RETRAIN: &str = "stage_retrain_ns";
+    /// Candidate generation (initial screen ranking, rerank pooling).
+    pub const STAGE_SCORING: &str = "stage_scoring_ns";
+    /// Log flush per close / eviction that had judgments.
+    pub const STAGE_FLUSH: &str = "stage_flush_ns";
+    /// Sessions currently resident.
+    pub const ACTIVE_SESSIONS: &str = "active_sessions";
+    /// Sessions flushed into the log (closes + evictions with judgments).
+    pub const FLUSHED_SESSIONS: &str = "flushed_sessions_total";
+    /// Rerank rounds whose solver hit `max_iter`.
+    pub const NONCONVERGED_RETRAINS: &str = "nonconverged_retrains_total";
+    /// SMO iterations across all retrains.
+    pub const SMO_ITERATIONS: &str = "smo_iterations_total";
+    /// Kernel-row cache hits across all retrains.
+    pub const KERNEL_CACHE_HITS: &str = "kernel_cache_hits_total";
+    /// Kernel-row cache misses across all retrains.
+    pub const KERNEL_CACHE_MISSES: &str = "kernel_cache_misses_total";
+    /// ANN distance evaluations across all index queries.
+    pub const ANN_DISTANCE_EVALS: &str = "ann_distance_evals_total";
+    /// ANN candidates scored across all index queries.
+    pub const ANN_CANDIDATES: &str = "ann_candidates_total";
+    /// ANN inverted lists / hash buckets probed.
+    pub const ANN_BUCKETS_PROBED: &str = "ann_buckets_probed_total";
+    /// Log-store snapshots taken (adopted from the shared store).
+    pub const LOG_SNAPSHOTS: &str = "log_snapshots_total";
+    /// Log-store session appends (adopted from the shared store).
+    pub const LOG_APPENDS: &str = "log_appends_total";
+    /// Appends that copied the store because snapshots were outstanding.
+    pub const LOG_COW_CLONES: &str = "log_cow_clones_total";
+}
+
+/// A service instance's registry plus the handles its hot path records
+/// through.
+pub struct ServiceMetrics {
+    registry: Registry,
+    clock: ClockRef,
+    /// Stage timers record only when true; counters always do.
+    timed: bool,
+    pub(crate) requests_total: Arc<Counter>,
+    pub(crate) request_latency: Arc<Histogram>,
+    pub(crate) stage_session_lookup: Arc<Histogram>,
+    pub(crate) stage_retrain: Arc<Histogram>,
+    pub(crate) stage_scoring: Arc<Histogram>,
+    pub(crate) stage_flush: Arc<Histogram>,
+    pub(crate) active_sessions: Arc<Gauge>,
+    pub(crate) flushed_sessions: Arc<Counter>,
+    pub(crate) nonconverged_retrains: Arc<Counter>,
+    pub(crate) smo_iterations: Arc<Counter>,
+    pub(crate) kernel_cache_hits: Arc<Counter>,
+    pub(crate) kernel_cache_misses: Arc<Counter>,
+    pub(crate) ann_distance_evals: Arc<Counter>,
+    pub(crate) ann_candidates: Arc<Counter>,
+    pub(crate) ann_buckets_probed: Arc<Counter>,
+}
+
+impl std::fmt::Debug for ServiceMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceMetrics")
+            .field("timed", &self.timed)
+            .field("requests_total", &self.requests_total.get())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for ServiceMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServiceMetrics {
+    /// Full instrumentation under the monotonic clock — what
+    /// [`crate::Service::new`] installs.
+    pub fn new() -> Self {
+        Self::build(MonotonicClock::shared(), true)
+    }
+
+    /// Full instrumentation under an injected clock (a
+    /// [`lrf_obs::ManualClock`] makes recorded latencies deterministic in
+    /// tests).
+    pub fn with_clock(clock: ClockRef) -> Self {
+        Self::build(clock, true)
+    }
+
+    /// Event counters only — no clock reads, no latency histograms. The
+    /// baseline build for the tracing-overhead benchmark.
+    pub fn disabled() -> Self {
+        // The clock is never read when untimed; Manual avoids even the
+        // monotonic clock's startup read.
+        Self::build(lrf_obs::ManualClock::shared(), false)
+    }
+
+    fn build(clock: ClockRef, timed: bool) -> Self {
+        let registry = Registry::new();
+        let requests_total = registry.counter(names::REQUESTS_TOTAL);
+        let request_latency = registry.histogram(names::REQUEST_LATENCY);
+        let stage_session_lookup = registry.histogram(names::STAGE_SESSION_LOOKUP);
+        let stage_retrain = registry.histogram(names::STAGE_RETRAIN);
+        let stage_scoring = registry.histogram(names::STAGE_SCORING);
+        let stage_flush = registry.histogram(names::STAGE_FLUSH);
+        let active_sessions = registry.gauge(names::ACTIVE_SESSIONS);
+        let flushed_sessions = registry.counter(names::FLUSHED_SESSIONS);
+        let nonconverged_retrains = registry.counter(names::NONCONVERGED_RETRAINS);
+        let smo_iterations = registry.counter(names::SMO_ITERATIONS);
+        let kernel_cache_hits = registry.counter(names::KERNEL_CACHE_HITS);
+        let kernel_cache_misses = registry.counter(names::KERNEL_CACHE_MISSES);
+        let ann_distance_evals = registry.counter(names::ANN_DISTANCE_EVALS);
+        let ann_candidates = registry.counter(names::ANN_CANDIDATES);
+        let ann_buckets_probed = registry.counter(names::ANN_BUCKETS_PROBED);
+        Self {
+            registry,
+            clock,
+            timed,
+            requests_total,
+            request_latency,
+            stage_session_lookup,
+            stage_retrain,
+            stage_scoring,
+            stage_flush,
+            active_sessions,
+            flushed_sessions,
+            nonconverged_retrains,
+            smo_iterations,
+            kernel_cache_hits,
+            kernel_cache_misses,
+            ann_distance_evals,
+            ann_candidates,
+            ann_buckets_probed,
+        }
+    }
+
+    /// Whether stage timers are live (counters always are).
+    pub fn is_timed(&self) -> bool {
+        self.timed
+    }
+
+    /// The underlying registry (e.g. to adopt a component's counters).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Freezes every instrument into a serializable snapshot.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        self.registry.snapshot()
+    }
+
+    /// The injected clock.
+    pub fn clock(&self) -> &dyn Clock {
+        &*self.clock
+    }
+
+    /// Starts a stage timer over `histogram`, or `None` when untimed
+    /// (dropping `None` is free, so call sites stay branchless).
+    pub(crate) fn time<'a>(&'a self, histogram: &'a Histogram) -> Option<SpanTimer<'a>> {
+        self.timed
+            .then(|| SpanTimer::start(&*self.clock, histogram))
+    }
+
+    /// Accounts one index query's [`lrf_index::SearchStats`].
+    pub(crate) fn count_search(&self, stats: lrf_index::SearchStats) {
+        self.ann_distance_evals.add(stats.distance_evals as u64);
+        self.ann_candidates.add(stats.candidates as u64);
+        self.ann_buckets_probed.add(stats.buckets_probed as u64);
+    }
+
+    /// Accounts one retrain round's [`lrf_core::RoundDiagnostics`].
+    pub(crate) fn count_round(&self, d: &lrf_core::RoundDiagnostics) {
+        self.smo_iterations.add(d.iterations as u64);
+        self.kernel_cache_hits.add(d.cache_hits);
+        self.kernel_cache_misses.add(d.cache_misses);
+        if !d.converged {
+            self.nonconverged_retrains.inc();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lrf_obs::ManualClock;
+
+    #[test]
+    fn timed_metrics_record_spans_and_counts() {
+        let clock = ManualClock::shared();
+        let m = ServiceMetrics::with_clock(clock.clone());
+        assert!(m.is_timed());
+        {
+            let _span = m.time(&m.request_latency);
+            clock.advance(500);
+        }
+        m.requests_total.inc();
+        let s = m.snapshot();
+        assert_eq!(s.counter(names::REQUESTS_TOTAL), Some(1));
+        let h = s.histogram(names::REQUEST_LATENCY).unwrap();
+        assert_eq!((h.count, h.sum), (1, 500));
+    }
+
+    #[test]
+    fn disabled_metrics_skip_timers_but_keep_counters() {
+        let m = ServiceMetrics::disabled();
+        assert!(!m.is_timed());
+        assert!(m.time(&m.request_latency).is_none());
+        m.flushed_sessions.inc();
+        let s = m.snapshot();
+        assert_eq!(s.histogram(names::REQUEST_LATENCY).unwrap().count, 0);
+        assert_eq!(s.counter(names::FLUSHED_SESSIONS), Some(1));
+    }
+
+    #[test]
+    fn search_and_round_accounting_reach_the_registry() {
+        let m = ServiceMetrics::disabled();
+        m.count_search(lrf_index::SearchStats {
+            distance_evals: 10,
+            candidates: 7,
+            buckets_probed: 2,
+        });
+        m.count_round(&lrf_core::RoundDiagnostics {
+            converged: false,
+            iterations: 42,
+            cache_hits: 5,
+            cache_misses: 3,
+        });
+        let s = m.snapshot();
+        assert_eq!(s.counter(names::ANN_DISTANCE_EVALS), Some(10));
+        assert_eq!(s.counter(names::ANN_CANDIDATES), Some(7));
+        assert_eq!(s.counter(names::ANN_BUCKETS_PROBED), Some(2));
+        assert_eq!(s.counter(names::SMO_ITERATIONS), Some(42));
+        assert_eq!(s.counter(names::KERNEL_CACHE_HITS), Some(5));
+        assert_eq!(s.counter(names::KERNEL_CACHE_MISSES), Some(3));
+        assert_eq!(s.counter(names::NONCONVERGED_RETRAINS), Some(1));
+    }
+}

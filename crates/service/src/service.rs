@@ -33,11 +33,12 @@
 use crate::api::{Request, Response, ServiceError};
 use crate::flush::Flushable;
 use crate::manager::{Evicted, SessionGone, SessionManager};
-use lrf_cbir::{build_flat_index, rank_with_index, ImageDatabase};
+use crate::metrics::{names, ServiceMetrics};
+use lrf_cbir::{build_flat_index, rank_with_index_stats, ImageDatabase};
 use lrf_core::{FeedbackLoop, LrfConfig, PooledRetrieval, QueryContext, SchemeKind};
 use lrf_index::AnnIndex;
 use lrf_logdb::{LogStore, SharedLogStore};
-use lrf_sync::atomic::{AtomicUsize, Ordering};
+use lrf_obs::RegistrySnapshot;
 use lrf_sync::{Arc, Mutex, MutexExt};
 
 /// Service tuning knobs.
@@ -91,8 +92,7 @@ pub struct Service {
     index: Box<dyn AnnIndex>,
     log: SharedLogStore,
     sessions: Mutex<SessionManager<Flushable<SessionState>>>,
-    flushed: AtomicUsize,
-    nonconverged: AtomicUsize,
+    metrics: ServiceMetrics,
     config: ServiceConfig,
 }
 
@@ -115,6 +115,19 @@ impl Service {
         log: LogStore,
         config: ServiceConfig,
     ) -> Self {
+        Self::with_metrics(db, index, log, config, ServiceMetrics::new())
+    }
+
+    /// [`with_index`](Self::with_index) with explicit observability — a
+    /// [`ServiceMetrics::with_clock`] for deterministic test latencies, or
+    /// [`ServiceMetrics::disabled`] for the untimed baseline build.
+    pub fn with_metrics(
+        db: ImageDatabase,
+        index: Box<dyn AnnIndex>,
+        log: LogStore,
+        config: ServiceConfig,
+        metrics: ServiceMetrics,
+    ) -> Self {
         assert_eq!(index.len(), db.len(), "index does not cover the database");
         assert_eq!(
             log.n_images(),
@@ -127,13 +140,25 @@ impl Service {
             config.max_sessions,
             config.ttl_requests,
         ));
+        let log = SharedLogStore::from_store(log);
+        // The store counts its own events; adopting the handles makes them
+        // part of this service's snapshots.
+        let log_counters = log.counters();
+        metrics
+            .registry()
+            .adopt_counter(names::LOG_SNAPSHOTS, log_counters.snapshots);
+        metrics
+            .registry()
+            .adopt_counter(names::LOG_APPENDS, log_counters.appends);
+        metrics
+            .registry()
+            .adopt_counter(names::LOG_COW_CLONES, log_counters.cow_clones);
         Self {
             db: Arc::new(db),
             index,
-            log: SharedLogStore::from_store(log),
+            log,
             sessions,
-            flushed: AtomicUsize::new(0),
-            nonconverged: AtomicUsize::new(0),
+            metrics,
             config,
         }
     }
@@ -146,6 +171,21 @@ impl Service {
     /// Sessions accumulated in the feedback log so far.
     pub fn log_sessions(&self) -> usize {
         self.log.n_sessions()
+    }
+
+    /// This instance's observability layer (registry + clock + handles).
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.metrics
+    }
+
+    /// Freezes every instrument — what `Request::Metrics` returns.
+    pub fn metrics_snapshot(&self) -> RegistrySnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// The metrics page in Prometheus text exposition format.
+    pub fn metrics_prometheus(&self) -> String {
+        lrf_obs::prometheus::render(&self.metrics.snapshot())
     }
 
     /// Shuts the service down, returning the accumulated log for
@@ -161,9 +201,18 @@ impl Service {
 
     /// Handles one request. Thread-safe: call from any number of threads.
     pub fn handle(&self, request: Request) -> Response {
+        // The span records end-to-end latency when it drops — after the
+        // response (including a Metrics snapshot) is fully built.
+        let _request_span = self.metrics.time(&self.metrics.request_latency);
+        self.metrics.requests_total.inc();
         // Expire idle sessions first so a session can never be observed
         // past its TTL; their judgments are salvaged into the log.
-        let expired = self.sessions.lock_recover().sweep();
+        let expired = {
+            let mut sessions = self.sessions.lock_recover();
+            let expired = sessions.sweep();
+            self.metrics.active_sessions.set(sessions.len() as u64);
+            expired
+        };
         self.flush_evicted(expired);
 
         match request {
@@ -181,6 +230,9 @@ impl Service {
             } => self.page(session, offset, count),
             Request::Close { session } => self.close(session),
             Request::Stats => self.stats(),
+            Request::Metrics => Response::Metrics {
+                snapshot: self.metrics.snapshot(),
+            },
         }
     }
 
@@ -209,12 +261,21 @@ impl Service {
         let fb = FeedbackLoop::new(scheme, self.config.lrf, query, self.db.len());
         // The initial ranking is the content-based index ranking — exactly
         // what the paper's users judged first.
-        let ranking = rank_with_index(&self.db, self.index.as_ref(), self.db.feature(query));
+        let ranking = {
+            let _scoring = self.metrics.time(&self.metrics.stage_scoring);
+            let (ranking, search) =
+                rank_with_index_stats(&self.db, self.index.as_ref(), self.db.feature(query));
+            self.metrics.count_search(search);
+            ranking
+        };
         let screen = ranking[..self.config.screen_size.min(ranking.len())].to_vec();
-        let (session, evicted) = self
-            .sessions
-            .lock_recover()
-            .insert(Flushable::new(SessionState { fb, ranking }));
+        let (session, evicted) = {
+            let _lookup = self.metrics.time(&self.metrics.stage_session_lookup);
+            let mut sessions = self.sessions.lock_recover();
+            let inserted = sessions.insert(Flushable::new(SessionState { fb, ranking }));
+            self.metrics.active_sessions.set(sessions.len() as u64);
+            inserted
+        };
         self.flush_evicted(evicted);
         Response::Opened { session, screen }
     }
@@ -256,15 +317,29 @@ impl Service {
             log: &snapshot,
             example: &example,
         };
-        let pool = PooledRetrieval::new(self.index.as_ref(), self.config.pool_size).pool(&ctx);
-        state.ranking = state.fb.rerank(&self.db, &snapshot, &pool);
+        let pool = {
+            let _scoring = self.metrics.time(&self.metrics.stage_scoring);
+            let (pool, search) = PooledRetrieval::new(self.index.as_ref(), self.config.pool_size)
+                .pool_with_stats(&ctx);
+            self.metrics.count_search(search);
+            pool
+        };
+        {
+            let _retrain = self.metrics.time(&self.metrics.stage_retrain);
+            state.ranking = state.fb.rerank(&self.db, &snapshot, &pool);
+        }
         let page = state.ranking[..self.config.screen_size.min(state.ranking.len())].to_vec();
         // Surface solver health: a max_iter-capped round must not pass as
         // a silently exact one (schemes that never train report converged).
-        let converged = state.fb.last_diagnostics().is_none_or(|d| d.converged);
-        if !converged {
-            self.nonconverged.fetch_add(1, Ordering::Relaxed);
-        }
+        // `count_round` also lifts the round's SMO iteration and
+        // kernel-cache totals into the registry.
+        let converged = match state.fb.last_diagnostics() {
+            Some(d) => {
+                self.metrics.count_round(&d);
+                d.converged
+            }
+            None => true,
+        };
         Response::Reranked {
             session,
             round: state.fb.rounds(),
@@ -291,7 +366,13 @@ impl Service {
     }
 
     fn close(&self, session: u64) -> Response {
-        let removed = self.sessions.lock_recover().remove(session);
+        let removed = {
+            let _lookup = self.metrics.time(&self.metrics.stage_session_lookup);
+            let mut sessions = self.sessions.lock_recover();
+            let removed = sessions.remove(session);
+            self.metrics.active_sessions.set(sessions.len() as u64);
+            removed
+        };
         match removed {
             Ok(payload) => {
                 let log_session = self.flush(&payload);
@@ -309,12 +390,13 @@ impl Service {
             active_sessions: self.sessions.lock_recover().len(),
             log_sessions: self.log.n_sessions(),
             n_images: self.db.len(),
-            flushed_sessions: self.flushed.load(Ordering::Relaxed),
-            nonconverged_retrains: self.nonconverged.load(Ordering::Relaxed),
+            flushed_sessions: self.metrics.flushed_sessions.get() as usize,
+            nonconverged_retrains: self.metrics.nonconverged_retrains.get() as usize,
         }
     }
 
     fn lookup(&self, session: u64) -> Result<Arc<Mutex<Flushable<SessionState>>>, ServiceError> {
+        let _lookup = self.metrics.time(&self.metrics.stage_session_lookup);
         self.sessions
             .lock_recover()
             .get(session)
@@ -335,6 +417,7 @@ impl Service {
     /// `Arc` observes the tombstone instead of mutating a detached
     /// session.
     fn flush(&self, payload: &Arc<Mutex<Flushable<SessionState>>>) -> Option<usize> {
+        let _flush_span = self.metrics.time(&self.metrics.stage_flush);
         let mut guard = payload.lock_recover();
         let state = guard.close()?;
         let session = state.fb.to_log_session();
@@ -342,7 +425,7 @@ impl Service {
             return None;
         }
         let id = self.log.record(session);
-        self.flushed.fetch_add(1, Ordering::Relaxed);
+        self.metrics.flushed_sessions.inc();
         Some(id)
     }
 
@@ -733,6 +816,84 @@ mod tests {
         assert_eq!(n_images, svc.db().len());
         assert_eq!(flushed_sessions, 0);
         assert_eq!(nonconverged_retrains, 0);
+    }
+
+    #[test]
+    fn metrics_endpoint_reports_stage_work() {
+        let svc = service();
+        let Response::Opened { session, screen } = svc.handle(Request::Open {
+            query: 5,
+            scheme: SchemeKind::LrfCsvm,
+        }) else {
+            panic!("open failed")
+        };
+        for &id in &screen {
+            svc.handle(Request::Mark {
+                session,
+                image: id,
+                relevant: svc.db().same_category(id, 5),
+            });
+        }
+        svc.handle(Request::Rerank { session });
+        svc.handle(Request::Close { session });
+
+        let Response::Metrics { snapshot } = svc.handle(Request::Metrics) else {
+            panic!("metrics failed")
+        };
+        // 1 open + 6 marks + 1 rerank + 1 close + this Metrics request
+        // (counted before its own snapshot is taken).
+        assert_eq!(snapshot.counter("requests_total"), Some(10));
+        assert_eq!(snapshot.histogram("request_latency_ns").unwrap().count, 9);
+        // Every stage saw work: the table was touched by marks/rerank/open/
+        // close, scoring ran on open + rerank, the retrain once, the flush
+        // once (close; empty-eviction flushes also record).
+        assert_eq!(
+            snapshot.histogram("stage_session_lookup_ns").unwrap().count,
+            9
+        );
+        assert_eq!(snapshot.histogram("stage_scoring_ns").unwrap().count, 2);
+        assert_eq!(snapshot.histogram("stage_retrain_ns").unwrap().count, 1);
+        assert_eq!(snapshot.histogram("stage_flush_ns").unwrap().count, 1);
+        // The solver, index and log totals flowed through.
+        assert!(snapshot.counter("smo_iterations_total").unwrap() > 0);
+        assert!(snapshot.counter("kernel_cache_misses_total").unwrap() > 0);
+        assert!(snapshot.counter("ann_distance_evals_total").unwrap() > 0);
+        assert_eq!(snapshot.counter("flushed_sessions_total"), Some(1));
+        assert_eq!(snapshot.counter("log_appends_total"), Some(1));
+        assert_eq!(snapshot.gauge("active_sessions"), Some(0));
+        // The same snapshot round-trips through the JSON transport and
+        // renders as well-formed Prometheus text.
+        let json = svc.handle_json(r#""Metrics""#);
+        let parsed: Response = serde_json::from_str(&json).unwrap();
+        assert!(matches!(parsed, Response::Metrics { .. }), "{json}");
+        let page = svc.metrics_prometheus();
+        assert!(page.contains("# TYPE request_latency_ns histogram"));
+        assert!(page.contains("request_latency_ns_count"));
+        // 10 requests above + the JSON-transport Metrics request.
+        assert!(page.contains("requests_total 11"), "{page}");
+    }
+
+    #[test]
+    fn deterministic_latencies_under_an_injected_clock() {
+        // Clock injection: a manual clock never advances during a request,
+        // so every recorded duration is exactly zero while counts still
+        // accumulate — the histogram contents are fully deterministic.
+        let (ds, log) = dataset();
+        let index: Box<dyn AnnIndex> = Box::new(build_flat_index(&ds.db));
+        let svc = Service::with_metrics(
+            ds.db,
+            index,
+            log,
+            config(),
+            ServiceMetrics::with_clock(lrf_obs::ManualClock::shared()),
+        );
+        svc.handle(Request::Open {
+            query: 1,
+            scheme: SchemeKind::Euclidean,
+        });
+        let h = svc.metrics_snapshot();
+        let lat = h.histogram("request_latency_ns").unwrap();
+        assert_eq!((lat.count, lat.sum, lat.max), (1, 0, 0));
     }
 
     #[test]

@@ -24,6 +24,7 @@
 
 use crate::error::SvmError;
 use crate::kernel::{GramMatrix, Kernel};
+use lrf_obs::Counter;
 use std::borrow::Borrow;
 use std::marker::PhantomData;
 
@@ -80,9 +81,11 @@ pub struct KernelCache<'a, S: ?Sized, B, K> {
     /// Cached row indices, most recently used last.
     lru: Vec<usize>,
     capacity_rows: usize,
-    hits: u64,
-    misses: u64,
-    evictions: u64,
+    // Registry-backed instruments (not plain integers) so a caller can
+    // lift the cache's hit rate into an `lrf_obs::Registry` by handle.
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
     _sample: PhantomData<&'a S>,
 }
 
@@ -92,9 +95,9 @@ impl<S: ?Sized, B, K> std::fmt::Debug for KernelCache<'_, S, B, K> {
             .field("n", &self.samples.len())
             .field("capacity_rows", &self.capacity_rows)
             .field("cached_rows", &self.lru.len())
-            .field("hits", &self.hits)
-            .field("misses", &self.misses)
-            .field("evictions", &self.evictions)
+            .field("hits", &self.hits.get())
+            .field("misses", &self.misses.get())
+            .field("evictions", &self.evictions.get())
             .finish()
     }
 }
@@ -133,9 +136,9 @@ where
             rows: (0..n).map(|_| None).collect(),
             lru: Vec::with_capacity(capacity_rows),
             capacity_rows,
-            hits: 0,
-            misses: 0,
-            evictions: 0,
+            hits: Counter::new(),
+            misses: Counter::new(),
+            evictions: Counter::new(),
             _sample: PhantomData,
         })
     }
@@ -147,18 +150,18 @@ where
 
     /// Row accesses served from the cache.
     pub fn hits(&self) -> u64 {
-        self.hits
+        self.hits.get()
     }
 
     /// Row accesses that had to compute the row (including recomputes
     /// after eviction).
     pub fn misses(&self) -> u64 {
-        self.misses
+        self.misses.get()
     }
 
     /// Rows dropped to stay within the byte budget.
     pub fn evictions(&self) -> u64 {
-        self.evictions
+        self.evictions.get()
     }
 
     /// Computes row `i`, mirroring entries from already-cached rows
@@ -195,16 +198,16 @@ where
     /// pair) or `i` itself.
     fn ensure(&mut self, i: usize, protect: Option<usize>) {
         if self.rows[i].is_some() {
-            self.hits += 1;
+            self.hits.inc();
         } else {
-            self.misses += 1;
+            self.misses.inc();
             while self.lru.len() >= self.capacity_rows {
                 let Some(pos) = self.lru.iter().position(|&t| t != i && Some(t) != protect) else {
                     break;
                 };
                 let victim = self.lru.remove(pos);
                 self.rows[victim] = None;
-                self.evictions += 1;
+                self.evictions.inc();
             }
             self.rows[i] = Some(self.compute_row(i));
         }
@@ -247,7 +250,7 @@ where
     }
 
     fn cache_stats(&self) -> (u64, u64) {
-        (self.hits, self.misses)
+        (self.hits.get(), self.misses.get())
     }
 }
 

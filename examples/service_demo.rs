@@ -6,13 +6,16 @@
 //!
 //! Builds a synthetic corpus with an initial feedback log, starts the
 //! service, drives several users concurrently (each a full open → judge →
-//! retrain → close loop on its own thread), shows the JSON transport, and
-//! prints how the shared log grew — the paper's loop, live: every finished
-//! session becomes log evidence for the next user's coupled SVM.
+//! retrain → close loop on its own thread), shows the JSON transport,
+//! reads the live metrics endpoint back out (asserting it is well-formed,
+//! so CI runs this demo as an observability smoke), and prints how the
+//! shared log grew — the paper's loop, live: every finished session
+//! becomes log evidence for the next user's coupled SVM.
 
 use corelog::cbir::{collect_log, CorelDataset, CorelSpec};
 use corelog::core::{LrfConfig, SchemeKind};
 use corelog::logdb::SimulationConfig;
+use corelog::obs::{Clock, MonotonicClock};
 use corelog::service::{Request, Response, Service, ServiceConfig};
 
 fn main() {
@@ -55,7 +58,7 @@ fn main() {
     //    refined screen, retrain again, close (flushing into the log).
     let queries = [4usize, 40, 77, 130];
     println!("driving {} concurrent user sessions ...", queries.len());
-    let t0 = std::time::Instant::now();
+    let clock = MonotonicClock::new();
     std::thread::scope(|scope| {
         for &query in &queries {
             let svc = &svc;
@@ -105,7 +108,10 @@ fn main() {
             });
         }
     });
-    println!("  all sessions closed in {:?}", t0.elapsed());
+    println!(
+        "  all sessions closed in {:.1} ms",
+        clock.now_ns() as f64 / 1e6
+    );
 
     // 4. The JSON transport — what a network listener would relay.
     println!("JSON transport:");
@@ -116,7 +122,50 @@ fn main() {
     let reply = svc.handle_json("definitely not json");
     println!("  junk  -> {reply}");
 
-    // 5. The log grew by one session per closed user session: tomorrow's
+    // 5. The live metrics endpoint: the same JSON transport serves a full
+    //    registry snapshot, and the typed API renders a Prometheus page.
+    //    Asserted well-formed so this demo doubles as the CI smoke for the
+    //    observability layer.
+    let body = svc.handle_json(r#""Metrics""#);
+    let parsed: Response =
+        serde_json::from_str(&body).expect("metrics endpoint returned invalid JSON");
+    let Response::Metrics { snapshot } = parsed else {
+        panic!("metrics endpoint returned a non-Metrics response: {body}")
+    };
+    let requests = snapshot
+        .counter("requests_total")
+        .expect("requests_total registered");
+    let retrains = snapshot
+        .histogram("stage_retrain_ns")
+        .expect("retrain histogram registered");
+    assert!(
+        requests > 0 && retrains.count > 0,
+        "a driven service must have recorded requests and retrains"
+    );
+    println!("metrics endpoint:");
+    println!(
+        "  requests_total {requests}; {} retrains (p50 {:.2} ms, p99 {:.2} ms)",
+        retrains.count,
+        retrains.p50() as f64 / 1e6,
+        retrains.p99() as f64 / 1e6,
+    );
+    let page = svc.metrics_prometheus();
+    assert!(
+        page.lines()
+            .any(|l| l == "# TYPE request_latency_ns histogram"),
+        "Prometheus page must type the latency histogram"
+    );
+    assert!(
+        page.contains("request_latency_ns_bucket{le=\"+Inf\"}"),
+        "histogram series must be capped by a +Inf bucket"
+    );
+    println!(
+        "  prometheus page: {} lines, {} bytes",
+        page.lines().count(),
+        page.len()
+    );
+
+    // 6. The log grew by one session per closed user session: tomorrow's
     //    queries train on today's feedback.
     let log = svc.into_log();
     println!(

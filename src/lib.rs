@@ -10,11 +10,13 @@
 //! * [`cbir`] — retrieval engine and evaluation protocol.
 //! * [`core`] — coupled SVM, LRF-CSVM, and baselines.
 //! * [`service`] — concurrent multi-session feedback service.
+//! * [`obs`] — metrics registry, tracing spans, and the injectable clock.
 
 pub use lrf_cbir as cbir;
 pub use lrf_core as core;
 pub use lrf_features as features;
 pub use lrf_imaging as imaging;
 pub use lrf_logdb as logdb;
+pub use lrf_obs as obs;
 pub use lrf_service as service;
 pub use lrf_svm as svm;

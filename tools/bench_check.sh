@@ -6,6 +6,17 @@
 #   service_throughput  N sessions one-by-one vs  N sessions on N threads
 #   svm_train/round     cold retrain          vs  warm-started retrain
 #   svm_train/gram      eager Gram precompute vs  lazy kernel-row cache
+#   obs_overhead        untimed baseline      vs  fully instrumented service
+#
+# The obs_overhead pair is held to OVERHEAD_MARGIN_PCT (5%): the
+# instrumented service must stay within 5% of the counters-only baseline,
+# the budget that keeps tracing always-on in production.
+#
+# The service_throughput bench also prints `service_latency/<stage>/<pN>`
+# percentile lines read back from the service's own metrics endpoint;
+# they are persisted to bench-results/BENCH_latency.json (and their
+# presence is enforced — a silent loss of the metrics endpoint would
+# otherwise look like a green run).
 #
 # On a single-core machine the parallel paths fall back to (or degenerate
 # into) the serial ones, so the gate only *reports* there — the comparison
@@ -24,10 +35,14 @@ OUT_DIR="${1:-bench-results}"
 mkdir -p "$OUT_DIR"
 RAW="$OUT_DIR/bench_raw.txt"
 JSON="$OUT_DIR/BENCH_ci.json"
+LAT_JSON="$OUT_DIR/BENCH_latency.json"
 
 # The relative slowdown the parallel path is allowed before the gate trips
 # (absorbs runner noise; any real regression is far larger than 10%).
 MARGIN_PCT=10
+# The instrumentation budget: timed metrics may cost at most this much
+# over the untimed baseline.
+OVERHEAD_MARGIN_PCT=5
 
 # Portable core detection: nproc (GNU), sysctl (macOS/BSD), getconf
 # (POSIX); 1 if all else fails so the gate degrades to report-only.
@@ -38,6 +53,7 @@ echo "bench_check: running quick-mode benches on ${CORES} core(s)"
 BENCH_QUICK=1 cargo bench -p lrf-bench --bench svm_score | tee -a "$RAW"
 BENCH_QUICK=1 cargo bench -p lrf-bench --bench service_throughput | tee -a "$RAW"
 BENCH_QUICK=1 cargo bench -p lrf-bench --bench svm_train | tee -a "$RAW"
+BENCH_QUICK=1 cargo bench -p lrf-bench --bench obs_overhead | tee -a "$RAW"
 
 # Lines look like:  bench svm_score/nsv8/serial/2000   344,467 ns/iter
 # The harness prints "123.4" below 1e3, comma-grouped integers below 1e9,
@@ -109,6 +125,33 @@ check_faster() { # check_faster <label> <baseline_name> <optimized_name>
     { \"check\": \"${label}\", \"serial_ns\": ${baseline_ns}, \"parallel_ns\": ${optimized_ns}, \"speedup\": ${speedup}, \"verdict\": \"${verdict}\" }"
 }
 
+check_overhead() { # check_overhead <label> <baseline_name> <instrumented_name>
+    # Like check_pair but with the tighter OVERHEAD_MARGIN_PCT budget: the
+    # instrumented path may cost at most that much over the baseline.
+    local label="$1" baseline_name="$2" instrumented_name="$3"
+    local baseline_ns instrumented_ns verdict
+    baseline_ns="$(lookup "$baseline_name")"
+    instrumented_ns="$(lookup "$instrumented_name")"
+    if [ -z "$baseline_ns" ] || [ -z "$instrumented_ns" ]; then
+        echo "bench_check: FAIL ${label}: missing bench output (${baseline_name}=${baseline_ns:-?} ${instrumented_name}=${instrumented_ns:-?})"
+        fail=1
+        return
+    fi
+    local limit=$(( baseline_ns + baseline_ns * OVERHEAD_MARGIN_PCT / 100 ))
+    local overhead
+    overhead="$(awk -v s="$baseline_ns" -v p="$instrumented_ns" 'BEGIN { printf "%.2f", (p - s) * 100.0 / s }')"
+    if [ "$CORES" -gt 1 ] && [ "$instrumented_ns" -gt "$limit" ]; then
+        verdict="fail"
+        fail=1
+        echo "bench_check: FAIL ${label}: instrumented ${instrumented_ns} ns > baseline ${baseline_ns} ns (+${OVERHEAD_MARGIN_PCT}% budget) — overhead ${overhead}%"
+    else
+        verdict="ok"
+        echo "bench_check: ok   ${label}: baseline ${baseline_ns} ns, instrumented ${instrumented_ns} ns (overhead ${overhead}%)"
+    fi
+    checks_json="${checks_json}${checks_json:+,}
+    { \"check\": \"${label}\", \"serial_ns\": ${baseline_ns}, \"parallel_ns\": ${instrumented_ns}, \"overhead_pct\": ${overhead}, \"verdict\": \"${verdict}\" }"
+}
+
 # Quick mode pins svm_score to N=2000, service_throughput to 4 sessions,
 # and svm_train to round N=120 / gram N=240.
 check_pair "svm_score/nsv8/n2000" "svm_score/nsv8/serial/2000" "svm_score/nsv8/batch/2000"
@@ -116,6 +159,31 @@ check_pair "svm_score/nsv64/n2000" "svm_score/nsv64/serial/2000" "svm_score/nsv6
 check_pair "service_throughput/4sessions" "service_throughput/serial/4" "service_throughput/concurrent/4"
 check_faster "svm_train/round_warm_vs_cold" "svm_train/round/cold/120" "svm_train/round/warm/120"
 check_pair "svm_train/gram_cached_vs_precomputed" "svm_train/gram/precomputed/240" "svm_train/gram/cached/240"
+check_overhead "obs_overhead/4sessions" "obs_overhead/untimed" "obs_overhead/timed"
+
+# Persist the service's self-reported latency percentiles. The lines come
+# from the metrics endpoint driven by the service_throughput bench, so an
+# empty set means the observability layer silently broke.
+lat_entries="$(parse | awk '$1 ~ /^service_latency\// {
+    printf "%s    { \"name\": \"%s\", \"ns\": %s }", (n++ ? ",\n" : ""), $1, $2
+}')"
+if [ -z "$lat_entries" ]; then
+    echo "bench_check: FAIL service_latency: no percentile lines in bench output"
+    fail=1
+else
+    cat > "$LAT_JSON" <<EOF
+{
+  "bench": "service request/stage latency percentiles (self-reported by lrf-obs)",
+  "command": "tools/bench_check.sh",
+  "cpus": ${CORES},
+  "quantile_error_bound": "1/64 relative (lrf-obs log-linear histogram)",
+  "percentiles": [
+${lat_entries}
+  ]
+}
+EOF
+    echo "bench_check: wrote ${LAT_JSON}"
+fi
 
 enforced=$([ "$CORES" -gt 1 ] && echo true || echo false)
 cat > "$JSON" <<EOF

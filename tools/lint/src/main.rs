@@ -11,9 +11,11 @@
 //! * **std-sync** — no direct `std::sync` in facade-covered crates
 //!   (`lrf-service`, `lrf-logdb`): synchronization goes through
 //!   `lrf-sync`, so the model checker sees every lock the service takes.
-//! * **wall-clock** — no `Instant` / `SystemTime` in session logic:
-//!   eviction and TTL are defined against the logical clock; wall time
-//!   would make them nondeterministic and unmodelable.
+//! * **wall-clock** — no `Instant` / `SystemTime` in first-party library
+//!   code: timing goes through the injectable `lrf_obs::Clock`
+//!   (`MonotonicClock` holds the only waived wall-clock reads), so session
+//!   logic, eviction, TTL, and span timing stay deterministic and
+//!   modelable.
 //! * **no-println** — no `println!` / `eprintln!` / `print!` / `eprint!`
 //!   / `dbg!` in library crates (binaries under `src/bin/` may print).
 //!
@@ -54,6 +56,19 @@ fn rule_tokens(rule: &str) -> &'static [&'static str] {
         "std-sync" => &["std::sync"],
         "wall-clock" => &["Instant", "SystemTime"],
         "no-println" => &["println!", "eprintln!", "print!", "eprint!", "dbg!"],
+        other => panic!("unknown rule {other}"),
+    }
+}
+
+/// Per-rule remediation hint appended to every finding.
+fn rule_hint(rule: &str) -> &'static str {
+    match rule {
+        "service-panic" => "return a typed `ServiceError` instead",
+        "std-sync" => "synchronize through the `lrf-sync` facade",
+        "wall-clock" => {
+            "inject `lrf_obs::Clock` (`MonotonicClock` in production, `ManualClock` in tests)"
+        }
+        "no-println" => "library code stays silent; print from binaries",
         other => panic!("unknown rule {other}"),
     }
 }
@@ -431,7 +446,10 @@ fn lint_source(file: &Path, source: &str, rules: &[&str]) -> Vec<Finding> {
                     file: file.to_path_buf(),
                     line,
                     rule: rule.to_string(),
-                    message: format!("`{token}` is not allowed here (see tools/lint)"),
+                    message: format!(
+                        "`{token}` is not allowed here — {} (see tools/lint)",
+                        rule_hint(rule)
+                    ),
                 });
             }
         }
@@ -482,8 +500,10 @@ fn scopes() -> Vec<(Vec<&'static str>, Vec<&'static str>)> {
             vec!["crates/logdb/src"],
             vec!["std-sync", "wall-clock", "no-println"],
         ),
-        // Every other library crate: no stray prints (vendored stand-ins
-        // and the sync facade included — they are library code too).
+        // Every other first-party library crate: no stray prints, and no
+        // wall-clock reads — timing is injected via `lrf_obs::Clock`.
+        // `crates/obs` itself is in scope: `MonotonicClock` carries the
+        // only waived `Instant` reads in the workspace.
         (
             vec![
                 "crates/imaging/src",
@@ -494,15 +514,23 @@ fn scopes() -> Vec<(Vec<&'static str>, Vec<&'static str>)> {
                 "crates/core/src",
                 "crates/bench/src",
                 "crates/sync/src",
+                "crates/obs/src",
+                "src",
+            ],
+            vec!["wall-clock", "no-println"],
+        ),
+        // Vendored stand-ins are library code too, so no stray prints —
+        // but they may read the wall clock internally. vendor/criterion is
+        // fully exempt: timing iterations and printing bench reports to
+        // the terminal is its purpose.
+        (
+            vec![
                 "crates/vendor/rand/src",
                 "crates/vendor/serde/src",
                 "crates/vendor/serde_derive/src",
                 "crates/vendor/serde_json/src",
                 "crates/vendor/proptest/src",
-                // vendor/criterion is exempt: printing bench reports to
-                // the terminal is its purpose.
                 "crates/vendor/loom/src",
-                "src",
             ],
             vec!["no-println"],
         ),
@@ -697,6 +725,55 @@ fn f() -> u32 { 7 }
         let src = "fn f<'a>(x: &'a Option<u32>) -> u32 { x.as_ref().copied().unwrap() }\n";
         let findings = lint(src, &["service-panic"]);
         assert_eq!(findings.len(), 1);
+    }
+
+    #[test]
+    fn wall_clock_hint_points_at_the_clock_trait() {
+        let findings = lint("use std::time::Instant;\n", &["wall-clock"]);
+        assert_eq!(findings.len(), 1);
+        assert!(
+            findings[0].message.contains("lrf_obs::Clock"),
+            "wall-clock findings must route the author to the injectable clock: {}",
+            findings[0].message
+        );
+    }
+
+    #[test]
+    fn waived_wall_clock_read_is_allowed() {
+        // The shape MonotonicClock uses: a justified waiver on the comment
+        // line directly above the sanctioned read.
+        let src = "
+fn origin() -> std::time::Instant {
+    // lrf-lint: allow(wall-clock): the sanctioned production read
+    std::time::Instant::now()
+}
+";
+        let findings = lint(src, &["wall-clock"]);
+        // The fn signature's `Instant` (line 2) is still flagged — only
+        // the waived read is suppressed.
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 2);
+    }
+
+    #[test]
+    fn first_party_scopes_cover_wall_clock_but_vendor_does_not() {
+        let all = scopes();
+        let rules_for = |dir: &str| -> Vec<&'static str> {
+            all.iter()
+                .filter(|(dirs, _)| dirs.contains(&dir))
+                .flat_map(|(_, rules)| rules.iter().copied())
+                .collect()
+        };
+        for dir in ["crates/obs/src", "crates/bench/src", "crates/svm/src"] {
+            assert!(
+                rules_for(dir).contains(&"wall-clock"),
+                "{dir} must be held to the wall-clock rule"
+            );
+        }
+        // Vendored stand-ins time things internally; criterion is exempt
+        // from everything.
+        assert!(!rules_for("crates/vendor/proptest/src").contains(&"wall-clock"));
+        assert!(rules_for("crates/vendor/criterion/src").is_empty());
     }
 
     #[test]
