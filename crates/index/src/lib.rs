@@ -118,14 +118,19 @@ pub fn from_json<T: Deserialize>(bytes: &[u8]) -> Result<T, PersistError> {
     serde_json::from_slice(bytes).map_err(|e| PersistError(e.to_string()))
 }
 
-/// Saves an index to a file.
+/// Saves an index to a file, atomically (temp + fsync + rename): a crash
+/// mid-save leaves the previous index file intact. Routed through the
+/// fault-injectable storage layer like all first-party file IO.
 pub fn save<T: Serialize>(index: &T, path: &std::path::Path) -> std::io::Result<()> {
-    std::fs::write(path, to_json(index))
+    lrf_storage::atomic_write(&lrf_storage::StdIo, path, &to_json(index))
 }
 
 /// Loads an index from a file written by [`save`].
 pub fn load<T: Deserialize>(path: &std::path::Path) -> Result<T, PersistError> {
-    let bytes = std::fs::read(path).map_err(|e| PersistError(e.to_string()))?;
+    use lrf_storage::StorageIo as _;
+    let bytes = lrf_storage::StdIo
+        .read(path)
+        .map_err(|e| PersistError(e.to_string()))?;
     from_json(&bytes)
 }
 

@@ -5,8 +5,8 @@
 //! human-inspectable; the format is versioned so future layouts can evolve.
 
 use crate::store::LogStore;
+use lrf_storage::{atomic_write, StdIo, StorageIo};
 use serde::{Deserialize, Serialize};
-use std::fs;
 use std::io;
 use std::path::Path;
 
@@ -87,14 +87,28 @@ pub fn from_json(bytes: &[u8]) -> Result<LogStore, PersistError> {
     Ok(env.store)
 }
 
-/// Saves the store to a file (overwrite).
+/// Saves the store to a file, crash-safely: the JSON is written to a
+/// sibling temp file, fsynced, and atomically renamed over `path`, so a
+/// crash mid-save leaves the previous snapshot intact rather than a torn
+/// hybrid. (The old in-place overwrite destroyed the previous good
+/// snapshot the moment it started.)
 pub fn save(store: &LogStore, path: &Path) -> Result<(), PersistError> {
-    Ok(fs::write(path, to_json(store)?)?)
+    save_with(&StdIo, store, path)
+}
+
+/// [`save`] over an injectable IO backend (fault-injection tests).
+pub fn save_with(io: &dyn StorageIo, store: &LogStore, path: &Path) -> Result<(), PersistError> {
+    Ok(atomic_write(io, path, &to_json(store)?)?)
 }
 
 /// Loads a store from a file.
 pub fn load(path: &Path) -> Result<LogStore, PersistError> {
-    from_json(&fs::read(path)?)
+    load_with(&StdIo, path)
+}
+
+/// [`load`] over an injectable IO backend (fault-injection tests).
+pub fn load_with(io: &dyn StorageIo, path: &Path) -> Result<LogStore, PersistError> {
+    from_json(&io.read(path)?)
 }
 
 #[cfg(test)]
@@ -154,5 +168,50 @@ mod tests {
         let err = from_json(b"not json").unwrap_err();
         assert!(matches!(err, PersistError::Format(_)));
         assert!(err.to_string().contains("format"));
+    }
+
+    #[test]
+    fn truncated_file_is_a_format_error() {
+        // A snapshot cut off mid-write (the torn-file case atomic save
+        // prevents, but an operator can still hand us one).
+        let bytes = to_json(&sample_store()).unwrap();
+        for cut in [1, bytes.len() / 2, bytes.len() - 1] {
+            let err = from_json(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, PersistError::Format(_)),
+                "cut at {cut} must be a typed Format error, got: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_file_is_a_typed_io_error() {
+        let err = load(Path::new("/definitely/not/here.json")).unwrap_err();
+        assert!(matches!(err, PersistError::Io(_)));
+    }
+
+    #[test]
+    fn crash_mid_save_preserves_previous_snapshot() {
+        use lrf_storage::{FaultIo, FaultPlan, MemIo};
+
+        let mem = MemIo::handle();
+        let path = Path::new("/db/store.json");
+        let old = sample_store();
+        save_with(mem.as_ref(), &old, path).unwrap();
+
+        // Next save crashes mid-publish: ops write-tmp(0), sync-tmp(1),
+        // rename(2) — kill it at each stage in turn.
+        for crash_at in 0..3 {
+            let mut bigger = old.clone();
+            bigger.record(LogSession::new(vec![(1, Relevance::Relevant)]));
+            let faulty = FaultIo::new(mem.clone(), FaultPlan::new().with_crash_at(crash_at));
+            assert!(save_with(&faulty, &bigger, path).is_err());
+            mem.crash();
+            let back = load_with(mem.as_ref(), path).unwrap();
+            assert_eq!(
+                back, old,
+                "crash at publish op {crash_at} must keep the old snapshot"
+            );
+        }
     }
 }

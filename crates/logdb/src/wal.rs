@@ -1,0 +1,363 @@
+//! The judgment WAL: crash-safe incremental persistence for the log store.
+//!
+//! [`crate::persist`] snapshots the whole store; fine at shutdown, wrong
+//! for a live service where every flushed session must survive a crash
+//! without rewriting megabytes of JSON. [`JudgmentWal`] layers the log's
+//! semantics onto [`lrf_storage::Wal`]:
+//!
+//! * each **record** is one [`LogSession`], JSON-encoded, CRC-framed and
+//!   fsynced by the storage layer before the append returns;
+//! * each **snapshot** is the existing [`crate::persist`] envelope (same
+//!   versioned JSON format `save`/`load` use — a compacted WAL directory
+//!   holds a file any existing tooling can read);
+//! * **recovery** rebuilds the [`LogStore`] by loading the snapshot and
+//!   replaying intact sessions, validating every image id against the
+//!   store's image count (a corrupt-but-CRC-valid record must surface as
+//!   a typed error, not a panic deep inside `LogStore::record`).
+
+use std::io;
+use std::path::Path;
+
+use lrf_storage::wal::{Wal, WalOptions};
+use lrf_storage::IoRef;
+
+use crate::persist::{self, PersistError};
+use crate::session::LogSession;
+use crate::store::LogStore;
+
+/// Errors from the judgment WAL.
+#[derive(Debug)]
+pub enum WalError {
+    /// Underlying storage failure (the append/compact did not happen).
+    Io(io::Error),
+    /// The compaction snapshot could not be encoded or decoded.
+    Persist(PersistError),
+    /// A recovered record is intact per its checksum but semantically
+    /// invalid for this store.
+    Replay {
+        /// Zero-based index of the offending record in replay order.
+        record: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "judgment wal I/O error: {e}"),
+            WalError::Persist(e) => write!(f, "judgment wal snapshot error: {e}"),
+            WalError::Replay { record, reason } => {
+                write!(f, "judgment wal replay error at record {record}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WalError::Io(e) => Some(e),
+            WalError::Persist(e) => Some(e),
+            WalError::Replay { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for WalError {
+    fn from(e: io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+impl From<PersistError> for WalError {
+    fn from(e: PersistError) -> Self {
+        WalError::Persist(e)
+    }
+}
+
+/// What recovery found, alongside the rebuilt store.
+#[derive(Debug)]
+pub struct WalRecoveryReport {
+    /// The store as of the crash: snapshot plus replayed sessions.
+    pub store: LogStore,
+    /// Sessions replayed from WAL segments (not counting the snapshot).
+    pub replayed_sessions: u64,
+    /// Whether a compaction snapshot was present.
+    pub had_snapshot: bool,
+    /// Segments of the current epoch that were replayed.
+    pub segments_replayed: u64,
+    /// Torn/corrupt frame runs dropped during recovery.
+    pub truncated_records: u64,
+    /// Bytes dropped with them.
+    pub truncated_bytes: u64,
+    /// Transient read faults healed by re-reading a segment.
+    pub reread_recoveries: u64,
+    /// Leftover files from older epochs / interrupted publishes removed.
+    pub stale_files_removed: u64,
+}
+
+/// Append-only durable log of [`LogSession`]s with snapshot compaction.
+#[derive(Debug)]
+pub struct JudgmentWal {
+    wal: Wal,
+    n_images: usize,
+    /// Sessions appended since the last compaction (recovered ones count).
+    appended_since_compact: u64,
+}
+
+impl JudgmentWal {
+    /// Opens (or creates) the WAL at `dir` and runs recovery, rebuilding
+    /// the store it protects. `n_images` must match the image database;
+    /// a snapshot recorded for a different image count is refused.
+    pub fn open(
+        io: IoRef,
+        dir: &Path,
+        n_images: usize,
+        opts: WalOptions,
+    ) -> Result<(Self, WalRecoveryReport), WalError> {
+        if n_images == 0 {
+            return Err(WalError::Replay {
+                record: 0,
+                reason: "log store requires at least one image".into(),
+            });
+        }
+        let (wal, recovery) = Wal::open(io, dir, opts)?;
+
+        let had_snapshot = recovery.snapshot.is_some();
+        let mut store = match &recovery.snapshot {
+            Some(bytes) => {
+                let store = persist::from_json(bytes)?;
+                if store.n_images() != n_images {
+                    return Err(WalError::Replay {
+                        record: 0,
+                        reason: format!(
+                            "snapshot covers {} images, database has {n_images}",
+                            store.n_images()
+                        ),
+                    });
+                }
+                store
+            }
+            None => LogStore::new(n_images),
+        };
+
+        let mut replayed_sessions = 0;
+        for (idx, payload) in recovery.records.iter().enumerate() {
+            let session = decode_session(idx, payload)?;
+            validate_session(idx, &session, n_images)?;
+            store.record(session);
+            replayed_sessions += 1;
+        }
+
+        let report = WalRecoveryReport {
+            store,
+            replayed_sessions,
+            had_snapshot,
+            segments_replayed: recovery.segments_replayed,
+            truncated_records: recovery.truncated_records,
+            truncated_bytes: recovery.truncated_bytes,
+            reread_recoveries: recovery.reread_recoveries,
+            stale_files_removed: recovery.stale_files_removed,
+        };
+        Ok((
+            Self {
+                wal,
+                n_images,
+                appended_since_compact: replayed_sessions,
+            },
+            report,
+        ))
+    }
+
+    /// Durably append one session. `Ok` means it survives a crash.
+    pub fn append(&mut self, session: &LogSession) -> Result<(), WalError> {
+        let payload =
+            serde_json::to_vec(session).map_err(|e| WalError::Persist(PersistError::Format(e)))?;
+        self.wal.append(&payload)?;
+        self.appended_since_compact += 1;
+        Ok(())
+    }
+
+    /// Atomically publish `store` as the new snapshot and retire the
+    /// replay segments. The caller is responsible for `store` containing
+    /// every session appended so far (the durable wrapper guarantees it).
+    pub fn compact(&mut self, store: &LogStore) -> Result<(), WalError> {
+        let bytes = persist::to_json(store)?;
+        self.wal.compact(&bytes)?;
+        self.appended_since_compact = 0;
+        Ok(())
+    }
+
+    /// Sessions appended (or recovered) since the last compaction —
+    /// the replay debt a crash right now would incur.
+    pub fn appended_since_compact(&self) -> u64 {
+        self.appended_since_compact
+    }
+
+    /// Current compaction epoch.
+    pub fn epoch(&self) -> u64 {
+        self.wal.epoch()
+    }
+
+    /// Segments started this epoch.
+    pub fn segments_started(&self) -> u64 {
+        self.wal.segments_started()
+    }
+
+    /// Image count this WAL validates against.
+    pub fn n_images(&self) -> usize {
+        self.n_images
+    }
+}
+
+fn decode_session(idx: usize, payload: &[u8]) -> Result<LogSession, WalError> {
+    serde_json::from_slice(payload).map_err(|e| WalError::Replay {
+        record: idx,
+        reason: format!("undecodable session payload: {e}"),
+    })
+}
+
+fn validate_session(idx: usize, session: &LogSession, n_images: usize) -> Result<(), WalError> {
+    for (image_id, _) in session.iter() {
+        if image_id >= n_images {
+            return Err(WalError::Replay {
+                record: idx,
+                reason: format!("image id {image_id} out of range (n_images = {n_images})"),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::Relevance;
+    use lrf_storage::{FaultIo, FaultKind, FaultPlan, MemIo};
+
+    fn session(pairs: &[(usize, bool)]) -> LogSession {
+        LogSession::new(
+            pairs
+                .iter()
+                .map(|&(id, r)| (id, Relevance::from_bool(r)))
+                .collect(),
+        )
+    }
+
+    fn dir() -> &'static Path {
+        Path::new("/log/wal")
+    }
+
+    #[test]
+    fn sessions_survive_crash_and_replay_in_order() {
+        let mem = MemIo::handle();
+        let (mut wal, rec) =
+            JudgmentWal::open(mem.clone(), dir(), 8, WalOptions::default()).unwrap();
+        assert_eq!(rec.store.n_sessions(), 0);
+        wal.append(&session(&[(0, true), (3, false)])).unwrap();
+        wal.append(&session(&[(7, true)])).unwrap();
+        drop(wal);
+        mem.crash();
+
+        let (_, rec) = JudgmentWal::open(mem.clone(), dir(), 8, WalOptions::default()).unwrap();
+        assert_eq!(rec.replayed_sessions, 2);
+        assert_eq!(rec.store.n_sessions(), 2);
+        assert_eq!(rec.store.entry(3, 0), -1.0);
+        assert_eq!(rec.store.entry(7, 1), 1.0);
+    }
+
+    #[test]
+    fn compaction_snapshot_is_the_persist_format() {
+        let mem = MemIo::handle();
+        let (mut wal, _) = JudgmentWal::open(mem.clone(), dir(), 8, WalOptions::default()).unwrap();
+        let mut store = LogStore::new(8);
+        store.record(session(&[(1, true)]));
+        wal.append(&session(&[(1, true)])).unwrap();
+        wal.compact(&store).unwrap();
+        assert_eq!(wal.appended_since_compact(), 0);
+        wal.append(&session(&[(2, false)])).unwrap();
+        drop(wal);
+        mem.crash();
+
+        // The compacted snapshot is readable by plain persist::load_with —
+        // the on-disk contract the module docs promise.
+        let snap_path = dir().join("snapshot-000001.json");
+        let from_snapshot = crate::persist::load_with(mem.as_ref(), &snap_path).unwrap();
+        assert_eq!(from_snapshot.n_sessions(), 1);
+
+        let (_, rec) = JudgmentWal::open(mem.clone(), dir(), 8, WalOptions::default()).unwrap();
+        assert!(rec.had_snapshot);
+        assert_eq!(rec.replayed_sessions, 1);
+        assert_eq!(rec.store.n_sessions(), 2);
+        assert_eq!(rec.store.entry(2, 1), -1.0);
+    }
+
+    #[test]
+    fn out_of_range_image_id_is_a_typed_replay_error() {
+        let mem = MemIo::handle();
+        let (mut wal, _) =
+            JudgmentWal::open(mem.clone(), dir(), 16, WalOptions::default()).unwrap();
+        wal.append(&session(&[(15, true)])).unwrap();
+        drop(wal);
+        mem.crash();
+
+        // Reopen against a smaller image database: the record is intact
+        // (CRC passes) but its ids are out of range — typed error, no
+        // panic from LogStore::record.
+        let err = JudgmentWal::open(mem.clone(), dir(), 8, WalOptions::default()).unwrap_err();
+        assert!(
+            matches!(err, WalError::Replay { record: 0, .. }),
+            "got: {err}"
+        );
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn snapshot_image_count_mismatch_is_refused() {
+        let mem = MemIo::handle();
+        let (mut wal, _) = JudgmentWal::open(mem.clone(), dir(), 8, WalOptions::default()).unwrap();
+        wal.append(&session(&[(1, true)])).unwrap();
+        let mut store = LogStore::new(8);
+        store.record(session(&[(1, true)]));
+        wal.compact(&store).unwrap();
+        drop(wal);
+        mem.crash();
+
+        let err = JudgmentWal::open(mem.clone(), dir(), 4, WalOptions::default()).unwrap_err();
+        assert!(err.to_string().contains("images"));
+    }
+
+    #[test]
+    fn failed_append_is_not_replayed() {
+        let mem = MemIo::handle();
+        let (wal, _) = JudgmentWal::open(mem.clone(), dir(), 8, WalOptions::default()).unwrap();
+        drop(wal);
+        // Ops through the faulty io: open = mkdir(0)+list(1); first
+        // append = append(2)+sync(3); second = append(4), sync(5) fails,
+        // repair truncate(6) succeeds.
+        let faulty: IoRef = FaultIo::handle(
+            mem.clone(),
+            FaultPlan::new().with_fault(5, FaultKind::SyncFail),
+        );
+        let (mut wal, _) = JudgmentWal::open(faulty, dir(), 8, WalOptions::default()).unwrap();
+        wal.append(&session(&[(0, true)])).unwrap();
+        assert!(wal.append(&session(&[(1, true)])).is_err());
+        drop(wal);
+        mem.crash();
+
+        let (_, rec) = JudgmentWal::open(mem.clone(), dir(), 8, WalOptions::default()).unwrap();
+        assert_eq!(rec.replayed_sessions, 1);
+        assert!(
+            rec.store.log_vector(1).is_empty(),
+            "failed append must not resurrect"
+        );
+    }
+
+    #[test]
+    fn zero_images_is_a_typed_error() {
+        let mem = MemIo::handle();
+        let err = JudgmentWal::open(mem, dir(), 0, WalOptions::default()).unwrap_err();
+        assert!(matches!(err, WalError::Replay { .. }));
+    }
+}

@@ -52,6 +52,10 @@ pub enum Request {
         /// Session id.
         session: u64,
     },
+    /// Reconciles the durability backlog: drains sessions that were
+    /// recorded volatile during a storage outage back into the WAL, then
+    /// compacts. A no-op (immediately `Synced`) on a WAL-less service.
+    SyncLog,
     /// Service-level counters.
     Stats,
     /// Full observability snapshot: every registered counter, gauge and
@@ -105,6 +109,21 @@ pub enum Response {
         /// Id of the flushed log session, or `None` if the user judged
         /// nothing (nothing to flush).
         log_session: Option<usize>,
+        /// Whether the flushed judgments are crash-safe: `true` when the
+        /// flush reached the fsynced WAL before this acknowledgement (or
+        /// there was nothing to flush), `false` when storage was failing
+        /// and the session is held in memory awaiting a
+        /// [`Request::SyncLog`] drain.
+        durable: bool,
+    },
+    /// The durability backlog was reconciled (see [`Request::SyncLog`]).
+    Synced {
+        /// Sessions still awaiting WAL backfill (0 after a full drain).
+        spilled: usize,
+        /// WAL segments started in the current epoch.
+        wal_segments: u64,
+        /// Whether a snapshot compaction ran as part of this sync.
+        compacted: bool,
     },
     /// Service counters.
     Stats {
@@ -181,6 +200,20 @@ pub enum ServiceError {
         /// Parser message.
         reason: String,
     },
+    /// Admission control shed this request: the durability spill queue is
+    /// past its watermark and accepting new sessions would grow the
+    /// backlog of judgments that cannot currently be made crash-safe.
+    /// Retry after storage recovers (a successful [`Request::SyncLog`]).
+    Overloaded {
+        /// Sessions awaiting WAL backfill when the request was shed.
+        spilled_sessions: usize,
+    },
+    /// The operation needs healthy storage and storage is failing; state
+    /// already acknowledged as durable is unaffected.
+    Degraded {
+        /// The underlying storage failure.
+        reason: String,
+    },
 }
 
 impl From<RoundError> for ServiceError {
@@ -211,6 +244,13 @@ impl std::fmt::Display for ServiceError {
                 write!(f, "image {image} already judged in this session")
             }
             ServiceError::BadRequest { reason } => write!(f, "bad request: {reason}"),
+            ServiceError::Overloaded { spilled_sessions } => write!(
+                f,
+                "overloaded: {spilled_sessions} session(s) await durable storage"
+            ),
+            ServiceError::Degraded { reason } => {
+                write!(f, "storage degraded: {reason}")
+            }
         }
     }
 }
@@ -240,6 +280,7 @@ mod tests {
                 count: 10,
             },
             Request::Close { session: 7 },
+            Request::SyncLog,
             Request::Stats,
             Request::Metrics,
         ];
@@ -260,12 +301,25 @@ mod tests {
             Response::Closed {
                 session: 1,
                 log_session: Some(12),
+                durable: true,
             },
             Response::Closed {
                 session: 2,
                 log_session: None,
+                durable: false,
+            },
+            Response::Synced {
+                spilled: 3,
+                wal_segments: 2,
+                compacted: true,
             },
             Response::err(ServiceError::SessionExpired { session: 4 }),
+            Response::err(ServiceError::Overloaded {
+                spilled_sessions: 17,
+            }),
+            Response::err(ServiceError::Degraded {
+                reason: "injected fault: fsync error".into(),
+            }),
             Response::Reranked {
                 session: 3,
                 round: 2,
@@ -307,5 +361,13 @@ mod tests {
         }
         .into();
         assert!(e.to_string().contains("outside database"));
+        let e = ServiceError::Overloaded {
+            spilled_sessions: 3,
+        };
+        assert!(e.to_string().contains("await durable storage"));
+        let e = ServiceError::Degraded {
+            reason: "fsync error".into(),
+        };
+        assert!(e.to_string().contains("storage degraded"));
     }
 }

@@ -9,9 +9,13 @@
 //!   (the index shares the database's feature allocation via
 //!   `build_shared` — the collection's features exist once in memory, no
 //!   matter how many sessions are live);
-//! * a [`lrf_logdb::SharedLogStore`]: sessions train on frozen log
+//! * a [`lrf_logdb::DurableLogStore`]: sessions train on frozen log
 //!   snapshots while completed sessions append concurrently (copy-on-write
-//!   — a flush can never stall a query);
+//!   — a flush can never stall a query). Built with
+//!   [`Service::with_durability`], every flush is fsynced into a
+//!   checksummed WAL before the close is acknowledged, with a typed
+//!   degradation path (retry → spill → shed, see [`durability`]) when
+//!   storage fails;
 //! * a [`SessionManager`]: each session is a resumable
 //!   [`lrf_core::FeedbackLoop`] behind its own lock, with LRU capacity
 //!   eviction and an idle TTL, both deterministic against a logical clock;
@@ -60,12 +64,14 @@
 //! ```
 
 pub mod api;
+pub mod durability;
 pub mod flush;
 pub mod manager;
 pub mod metrics;
 pub mod service;
 
 pub use api::{Request, Response, ServiceError};
+pub use durability::DurabilityConfig;
 pub use flush::Flushable;
 pub use manager::{EvictReason, Evicted, SessionGone, SessionManager};
 pub use metrics::ServiceMetrics;

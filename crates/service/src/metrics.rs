@@ -60,6 +60,39 @@ pub mod names {
     pub const LOG_APPENDS: &str = "log_appends_total";
     /// Appends that copied the store because snapshots were outstanding.
     pub const LOG_COW_CLONES: &str = "log_cow_clones_total";
+    /// Sessions durably appended to the judgment WAL (fsynced before ack).
+    pub const WAL_APPENDS: &str = "wal_appends_total";
+    /// WAL append attempts retried after a storage failure.
+    pub const WAL_RETRIES: &str = "wal_retries_total";
+    /// Flushes whose WAL append exhausted its retry/deadline budget and
+    /// fell back to the volatile + spill path.
+    pub const WAL_APPEND_FAILURES: &str = "wal_append_failures_total";
+    /// Sessions parked in the spill queue awaiting WAL backfill.
+    pub const WAL_SPILLED_SESSIONS: &str = "wal_spilled_sessions_total";
+    /// Sessions the spill queue rejected because it was full (recorded in
+    /// memory only — lost on crash until the next compaction).
+    pub const WAL_SPILL_REJECTED: &str = "wal_spill_rejected_total";
+    /// Requests shed by durability admission control.
+    pub const SHED_REQUESTS: &str = "shed_requests_total";
+    /// WAL snapshot compactions that committed.
+    pub const WAL_COMPACTIONS: &str = "wal_compactions_total";
+    /// Durable-flush stage latency: WAL append (with retries/backoff)
+    /// plus the in-memory record, per flushed session.
+    pub const STAGE_DURABLE_FLUSH: &str = "stage_durable_flush_ns";
+    /// Current spill-queue depth.
+    pub const WAL_SPILL_DEPTH: &str = "wal_spill_depth";
+    /// 1 while the service is degraded (flushes bypassing the WAL).
+    pub const STORAGE_DEGRADED: &str = "storage_degraded";
+    /// Sessions recovered from disk at startup (snapshot + WAL replay).
+    pub const RECOVERY_SESSIONS: &str = "recovery_sessions_total";
+    /// Torn/corrupt WAL frame runs truncated during startup recovery.
+    pub const RECOVERY_TRUNCATED_RECORDS: &str = "recovery_truncated_records_total";
+    /// Bytes dropped with those truncated runs.
+    pub const RECOVERY_TRUNCATED_BYTES: &str = "recovery_truncated_bytes_total";
+    /// Transient read faults healed by re-reading a segment at startup.
+    pub const RECOVERY_REREAD_RECOVERIES: &str = "recovery_reread_recoveries_total";
+    /// Stale files (older epochs, leftover temp files) swept at startup.
+    pub const RECOVERY_STALE_FILES: &str = "recovery_stale_files_removed_total";
 }
 
 /// A service instance's registry plus the handles its hot path records
@@ -84,6 +117,16 @@ pub struct ServiceMetrics {
     pub(crate) ann_distance_evals: Arc<Counter>,
     pub(crate) ann_candidates: Arc<Counter>,
     pub(crate) ann_buckets_probed: Arc<Counter>,
+    pub(crate) wal_appends: Arc<Counter>,
+    pub(crate) wal_retries: Arc<Counter>,
+    pub(crate) wal_append_failures: Arc<Counter>,
+    pub(crate) wal_spilled_sessions: Arc<Counter>,
+    pub(crate) wal_spill_rejected: Arc<Counter>,
+    pub(crate) shed_requests: Arc<Counter>,
+    pub(crate) wal_compactions: Arc<Counter>,
+    pub(crate) stage_durable_flush: Arc<Histogram>,
+    pub(crate) wal_spill_depth: Arc<Gauge>,
+    pub(crate) storage_degraded: Arc<Gauge>,
 }
 
 impl std::fmt::Debug for ServiceMetrics {
@@ -140,6 +183,16 @@ impl ServiceMetrics {
         let ann_distance_evals = registry.counter(names::ANN_DISTANCE_EVALS);
         let ann_candidates = registry.counter(names::ANN_CANDIDATES);
         let ann_buckets_probed = registry.counter(names::ANN_BUCKETS_PROBED);
+        let wal_appends = registry.counter(names::WAL_APPENDS);
+        let wal_retries = registry.counter(names::WAL_RETRIES);
+        let wal_append_failures = registry.counter(names::WAL_APPEND_FAILURES);
+        let wal_spilled_sessions = registry.counter(names::WAL_SPILLED_SESSIONS);
+        let wal_spill_rejected = registry.counter(names::WAL_SPILL_REJECTED);
+        let shed_requests = registry.counter(names::SHED_REQUESTS);
+        let wal_compactions = registry.counter(names::WAL_COMPACTIONS);
+        let stage_durable_flush = registry.histogram(names::STAGE_DURABLE_FLUSH);
+        let wal_spill_depth = registry.gauge(names::WAL_SPILL_DEPTH);
+        let storage_degraded = registry.gauge(names::STORAGE_DEGRADED);
         Self {
             registry,
             clock,
@@ -159,6 +212,16 @@ impl ServiceMetrics {
             ann_distance_evals,
             ann_candidates,
             ann_buckets_probed,
+            wal_appends,
+            wal_retries,
+            wal_append_failures,
+            wal_spilled_sessions,
+            wal_spill_rejected,
+            shed_requests,
+            wal_compactions,
+            stage_durable_flush,
+            wal_spill_depth,
+            storage_degraded,
         }
     }
 
@@ -194,6 +257,27 @@ impl ServiceMetrics {
         self.ann_distance_evals.add(stats.distance_evals as u64);
         self.ann_candidates.add(stats.candidates as u64);
         self.ann_buckets_probed.add(stats.buckets_probed as u64);
+    }
+
+    /// Accounts a startup recovery's [`lrf_logdb::DurableRecovery`] —
+    /// registered on demand, so WAL-less services don't carry recovery
+    /// instruments they can never move.
+    pub(crate) fn count_recovery(&self, r: &lrf_logdb::DurableRecovery) {
+        self.registry
+            .counter(names::RECOVERY_SESSIONS)
+            .add(r.recovered_sessions);
+        self.registry
+            .counter(names::RECOVERY_TRUNCATED_RECORDS)
+            .add(r.truncated_records);
+        self.registry
+            .counter(names::RECOVERY_TRUNCATED_BYTES)
+            .add(r.truncated_bytes);
+        self.registry
+            .counter(names::RECOVERY_REREAD_RECOVERIES)
+            .add(r.reread_recoveries);
+        self.registry
+            .counter(names::RECOVERY_STALE_FILES)
+            .add(r.stale_files_removed);
     }
 
     /// Accounts one retrain round's [`lrf_core::RoundDiagnostics`].
@@ -237,6 +321,23 @@ mod tests {
         let s = m.snapshot();
         assert_eq!(s.histogram(names::REQUEST_LATENCY).unwrap().count, 0);
         assert_eq!(s.counter(names::FLUSHED_SESSIONS), Some(1));
+    }
+
+    #[test]
+    fn recovery_accounting_registers_on_demand() {
+        let m = ServiceMetrics::disabled();
+        assert_eq!(m.snapshot().counter(names::RECOVERY_SESSIONS), None);
+        m.count_recovery(&lrf_logdb::DurableRecovery {
+            recovered_sessions: 5,
+            truncated_records: 1,
+            truncated_bytes: 3,
+            ..Default::default()
+        });
+        let s = m.snapshot();
+        assert_eq!(s.counter(names::RECOVERY_SESSIONS), Some(5));
+        assert_eq!(s.counter(names::RECOVERY_TRUNCATED_RECORDS), Some(1));
+        assert_eq!(s.counter(names::RECOVERY_TRUNCATED_BYTES), Some(3));
+        assert_eq!(s.counter(names::RECOVERY_STALE_FILES), Some(0));
     }
 
     #[test]

@@ -17,8 +17,9 @@
 //!                  │        ▼                   across sessions)│
 //!                  │  Arc<ImageDatabase> ── Arc-shared flat     │
 //!                  │  Box<dyn AnnIndex>  ── matrix (one copy)   │
-//!                  │  SharedLogStore     ── snapshot reads,     │
-//!                  │                        COW appends         │
+//!                  │  DurableLogStore    ── snapshot reads,     │
+//!                  │                        COW appends,        │
+//!                  │                        WAL-first flushes   │
 //!                  └────────────────────────────────────────────┘
 //! ```
 //!
@@ -31,15 +32,20 @@
 //! tomorrow's coupled-SVM queries train on.
 
 use crate::api::{Request, Response, ServiceError};
+use crate::durability::{Durability, DurabilityConfig};
 use crate::flush::Flushable;
 use crate::manager::{Evicted, SessionGone, SessionManager};
 use crate::metrics::{names, ServiceMetrics};
 use lrf_cbir::{build_flat_index, rank_with_index_stats, ImageDatabase};
 use lrf_core::{FeedbackLoop, LrfConfig, PooledRetrieval, QueryContext, SchemeKind};
 use lrf_index::AnnIndex;
-use lrf_logdb::{LogStore, SharedLogStore};
+use lrf_logdb::{DurableLogStore, DurableRecovery, LogSession, LogStore, WalError};
 use lrf_obs::RegistrySnapshot;
+use lrf_storage::wal::WalOptions;
+use lrf_storage::IoRef;
 use lrf_sync::{Arc, Mutex, MutexExt};
+use std::path::Path;
+use std::time::Duration;
 
 /// Service tuning knobs.
 #[derive(Clone, Copy, Debug)]
@@ -90,10 +96,13 @@ struct SessionState {
 pub struct Service {
     db: Arc<ImageDatabase>,
     index: Box<dyn AnnIndex>,
-    log: SharedLogStore,
+    log: DurableLogStore,
     sessions: Mutex<SessionManager<Flushable<SessionState>>>,
     metrics: ServiceMetrics,
     config: ServiceConfig,
+    /// Present on WAL-backed services; `None` means flushes are
+    /// in-memory only (the pre-durability behaviour).
+    durability: Option<Durability>,
 }
 
 impl Service {
@@ -128,6 +137,82 @@ impl Service {
         config: ServiceConfig,
         metrics: ServiceMetrics,
     ) -> Self {
+        Self::build(
+            db,
+            index,
+            DurableLogStore::volatile(log),
+            config,
+            metrics,
+            None,
+        )
+    }
+
+    /// Builds a crash-safe service: the feedback log lives behind a
+    /// checksummed WAL at `dir` on `io`, recovered (or seeded from
+    /// `seed` when the directory is empty) before serving starts. Every
+    /// flush is fsynced into the WAL before the close is acknowledged;
+    /// `policy` governs retries, spilling, and load shedding when
+    /// storage fails.
+    pub fn with_durability(
+        db: ImageDatabase,
+        index: Box<dyn AnnIndex>,
+        io: IoRef,
+        dir: &Path,
+        seed: LogStore,
+        config: ServiceConfig,
+        policy: DurabilityConfig,
+    ) -> Result<(Self, DurableRecovery), WalError> {
+        Self::with_durability_metrics(
+            db,
+            index,
+            io,
+            dir,
+            seed,
+            config,
+            policy,
+            ServiceMetrics::new(),
+        )
+    }
+
+    /// [`with_durability`](Self::with_durability) with explicit
+    /// observability. Recovery counters (sessions recovered, torn tails
+    /// truncated, stale files swept) land in the registry before the
+    /// first request.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_durability_metrics(
+        db: ImageDatabase,
+        index: Box<dyn AnnIndex>,
+        io: IoRef,
+        dir: &Path,
+        seed: LogStore,
+        config: ServiceConfig,
+        policy: DurabilityConfig,
+        metrics: ServiceMetrics,
+    ) -> Result<(Self, DurableRecovery), WalError> {
+        let opts = WalOptions {
+            segment_bytes: policy.segment_bytes,
+        };
+        let (log, recovery) = DurableLogStore::open_with_seed(io, dir, seed, opts)?;
+        metrics.count_recovery(&recovery);
+        let svc = Self::build(
+            db,
+            index,
+            log,
+            config,
+            metrics,
+            Some(Durability::new(policy)),
+        );
+        Ok((svc, recovery))
+    }
+
+    fn build(
+        db: ImageDatabase,
+        index: Box<dyn AnnIndex>,
+        log: DurableLogStore,
+        config: ServiceConfig,
+        metrics: ServiceMetrics,
+        durability: Option<Durability>,
+    ) -> Self {
         assert_eq!(index.len(), db.len(), "index does not cover the database");
         assert_eq!(
             log.n_images(),
@@ -140,7 +225,6 @@ impl Service {
             config.max_sessions,
             config.ttl_requests,
         ));
-        let log = SharedLogStore::from_store(log);
         // The store counts its own events; adopting the handles makes them
         // part of this service's snapshots.
         let log_counters = log.counters();
@@ -160,6 +244,7 @@ impl Service {
             sessions,
             metrics,
             config,
+            durability,
         }
     }
 
@@ -190,11 +275,17 @@ impl Service {
 
     /// Shuts the service down, returning the accumulated log for
     /// persistence. Resident sessions are flushed first (in id order, so
-    /// the resulting log is deterministic).
+    /// the resulting log is deterministic). On a durable service the
+    /// spill queue is drained and a final compaction is attempted, so the
+    /// on-disk state matches the returned store whenever storage allows.
     pub fn into_log(self) -> LogStore {
         let drained = self.sessions.lock_recover().drain();
         for (_, payload) in drained {
             let _ = self.flush(&payload);
+        }
+        if self.durability.is_some() {
+            // Best-effort: a still-failing disk must not block shutdown.
+            let _ = self.sync_log();
         }
         self.log.into_store()
     }
@@ -229,6 +320,7 @@ impl Service {
                 count,
             } => self.page(session, offset, count),
             Request::Close { session } => self.close(session),
+            Request::SyncLog => self.sync_log(),
             Request::Stats => self.stats(),
             Request::Metrics => Response::Metrics {
                 snapshot: self.metrics.snapshot(),
@@ -252,6 +344,17 @@ impl Service {
     }
 
     fn open(&self, query: usize, scheme: SchemeKind) -> Response {
+        // Admission control: while the durability backlog is past its
+        // watermark, refuse new sessions — every judgment they produce
+        // would join the queue of feedback we cannot make crash-safe.
+        if let Some(dur) = &self.durability {
+            if dur.should_shed() {
+                self.metrics.shed_requests.inc();
+                return Response::err(ServiceError::Overloaded {
+                    spilled_sessions: dur.spill_depth(),
+                });
+            }
+        }
         if query >= self.db.len() {
             return Response::err(ServiceError::UnknownQuery {
                 query,
@@ -375,13 +478,56 @@ impl Service {
         };
         match removed {
             Ok(payload) => {
-                let log_session = self.flush(&payload);
+                // An empty session has nothing to lose, so it is
+                // (vacuously) durable.
+                let (log_session, durable) = match self.flush(&payload) {
+                    Some((id, durable)) => (Some(id), durable),
+                    None => (None, true),
+                };
                 Response::Closed {
                     session,
                     log_session,
+                    durable,
                 }
             }
             Err(gone) => Response::err(Self::gone_error(session, gone)),
+        }
+    }
+
+    /// Drains the spill queue back into the WAL (in record order), then
+    /// compacts. Stops at the first storage error — the remaining spill
+    /// is intact and a later `SyncLog` resumes where this one failed.
+    fn sync_log(&self) -> Response {
+        let Some(dur) = &self.durability else {
+            return Response::Synced {
+                spilled: 0,
+                wal_segments: 0,
+                compacted: false,
+            };
+        };
+        while let Some(session) = dur.pop_spill() {
+            if let Err(e) = self.log.append_wal_only(&session) {
+                dur.unpop_spill(session);
+                self.metrics.wal_spill_depth.set(dur.spill_depth() as u64);
+                return Response::err(ServiceError::Degraded {
+                    reason: e.to_string(),
+                });
+            }
+            self.metrics.wal_appends.inc();
+        }
+        self.metrics.wal_spill_depth.set(0);
+        if let Err(e) = self.log.compact() {
+            return Response::err(ServiceError::Degraded {
+                reason: e.to_string(),
+            });
+        }
+        self.metrics.wal_compactions.inc();
+        dur.set_degraded(false);
+        self.metrics.storage_degraded.set(0);
+        Response::Synced {
+            spilled: 0,
+            wal_segments: self.log.wal_segments(),
+            compacted: true,
         }
     }
 
@@ -411,12 +557,12 @@ impl Service {
     }
 
     /// Flushes one session's judgments into the shared log and tombstones
-    /// the state; returns the new log-session id (empty sessions flush
-    /// nothing). Idempotent: [`Flushable::close`] yields the state at most
-    /// once, and a request that raced the removal and is still holding the
-    /// `Arc` observes the tombstone instead of mutating a detached
-    /// session.
-    fn flush(&self, payload: &Arc<Mutex<Flushable<SessionState>>>) -> Option<usize> {
+    /// the state; returns the new log-session id and whether it reached
+    /// durable storage (empty sessions flush nothing). Idempotent:
+    /// [`Flushable::close`] yields the state at most once, and a request
+    /// that raced the removal and is still holding the `Arc` observes the
+    /// tombstone instead of mutating a detached session.
+    fn flush(&self, payload: &Arc<Mutex<Flushable<SessionState>>>) -> Option<(usize, bool)> {
         let _flush_span = self.metrics.time(&self.metrics.stage_flush);
         let mut guard = payload.lock_recover();
         let state = guard.close()?;
@@ -424,9 +570,85 @@ impl Service {
         if session.is_empty() {
             return None;
         }
-        let id = self.log.record(session);
+        let recorded = self.record_session(session);
         self.metrics.flushed_sessions.inc();
-        Some(id)
+        Some(recorded)
+    }
+
+    /// Records one completed session through the durability policy:
+    /// WAL-first with retry + bounded backoff + clock deadline, degrading
+    /// to volatile + spill when the budget is exhausted. Returns the log
+    /// session id and whether it is crash-safe.
+    fn record_session(&self, session: LogSession) -> (usize, bool) {
+        let Some(dur) = &self.durability else {
+            // WAL-less service: the in-memory record is all there is.
+            return (self.log.record_volatile(session), false);
+        };
+        let _span = self.metrics.time(&self.metrics.stage_durable_flush);
+        // While degraded, skip the retry budget entirely: paying a full
+        // backoff ladder per flush during a known outage only adds
+        // latency, and a disk that quietly recovered must not interleave
+        // fresh WAL appends ahead of the spilled backlog (replay order
+        // must match session-id order). `sync_log` is the one path back.
+        if !dur.is_degraded() {
+            let cfg = &dur.config;
+            let start = self.metrics.clock().now_ns();
+            let mut backoff = cfg.backoff_ns;
+            let mut attempt = 0u32;
+            loop {
+                attempt += 1;
+                match self.log.record_durable(session.clone()) {
+                    Ok(id) => {
+                        self.metrics.wal_appends.inc();
+                        self.maybe_compact(dur);
+                        return (id, true);
+                    }
+                    Err(_) => {
+                        let within_deadline = cfg.deadline_ns == 0
+                            || self.metrics.clock().now_ns().saturating_sub(start)
+                                < cfg.deadline_ns;
+                        if attempt >= cfg.max_attempts.max(1) || !within_deadline {
+                            break;
+                        }
+                        self.metrics.wal_retries.inc();
+                        if backoff > 0 {
+                            std::thread::sleep(Duration::from_nanos(backoff));
+                            backoff = backoff.saturating_mul(2).min(cfg.max_backoff_ns);
+                        }
+                    }
+                }
+            }
+            self.metrics.wal_append_failures.inc();
+            dur.set_degraded(true);
+            self.metrics.storage_degraded.set(1);
+        }
+        // Degraded path: the judgment still lands in memory (future
+        // queries train on it) and is parked for WAL backfill; the
+        // caller learns the truth via `durable: false`.
+        let id = self.log.record_volatile(session.clone());
+        if dur.push_spill(session) {
+            self.metrics.wal_spilled_sessions.inc();
+        } else {
+            self.metrics.wal_spill_rejected.inc();
+        }
+        self.metrics.wal_spill_depth.set(dur.spill_depth() as u64);
+        (id, false)
+    }
+
+    /// Opportunistic compaction on the durable fast path: once enough
+    /// segments accumulated (and nothing is spilled — compacting while
+    /// sessions await backfill would still be correct, but `sync_log`
+    /// owns that reconciliation), fold the WAL into a fresh snapshot.
+    fn maybe_compact(&self, dur: &Durability) {
+        if dur.config.compact_segments == 0
+            || dur.spill_depth() > 0
+            || self.log.wal_segments() < dur.config.compact_segments
+        {
+            return;
+        }
+        if self.log.compact().is_ok() {
+            self.metrics.wal_compactions.inc();
+        }
     }
 
     fn flush_evicted(&self, evicted: Vec<Evicted<Flushable<SessionState>>>) {
@@ -894,6 +1116,227 @@ mod tests {
         let h = svc.metrics_snapshot();
         let lat = h.histogram("request_latency_ns").unwrap();
         assert_eq!((lat.count, lat.sum, lat.max), (1, 0, 0));
+    }
+
+    /// A durability policy with no sleeps: fault-injection runs stay
+    /// instant and fully deterministic.
+    fn durable_policy() -> DurabilityConfig {
+        DurabilityConfig {
+            max_attempts: 2,
+            backoff_ns: 0,
+            max_backoff_ns: 0,
+            deadline_ns: 0,
+            spill_capacity: 4,
+            shed_watermark: 1,
+            ..DurabilityConfig::default()
+        }
+    }
+
+    fn wal_dir() -> &'static std::path::Path {
+        std::path::Path::new("/srv/feedback-wal")
+    }
+
+    fn durable_service(io: lrf_storage::IoRef) -> (Service, lrf_logdb::DurableRecovery) {
+        let (ds, log) = dataset();
+        let index: Box<dyn AnnIndex> = Box::new(build_flat_index(&ds.db));
+        Service::with_durability_metrics(
+            ds.db,
+            index,
+            io,
+            wal_dir(),
+            log,
+            config(),
+            durable_policy(),
+            ServiceMetrics::with_clock(lrf_obs::ManualClock::shared()),
+        )
+        .unwrap()
+    }
+
+    /// Runs one judged session through the service and closes it,
+    /// returning the close response.
+    fn run_one_session(svc: &Service, query: usize) -> Response {
+        let Response::Opened { session, screen } = svc.handle(Request::Open {
+            query,
+            scheme: SchemeKind::RfSvm,
+        }) else {
+            panic!("open failed")
+        };
+        for &id in &screen {
+            svc.handle(Request::Mark {
+                session,
+                image: id,
+                relevant: svc.db().same_category(id, query),
+            });
+        }
+        svc.handle(Request::Close { session })
+    }
+
+    #[test]
+    fn volatile_service_reports_nondurable_flushes() {
+        // The pre-durability constructors keep working unchanged, but a
+        // close must not claim crash-safety it doesn't have.
+        let svc = service();
+        let resp = run_one_session(&svc, 5);
+        let Response::Closed {
+            log_session: Some(_),
+            durable,
+            ..
+        } = resp
+        else {
+            panic!("close failed: {resp:?}")
+        };
+        assert!(!durable, "a WAL-less flush is not durable");
+        // SyncLog on a WAL-less service is a trivial no-op.
+        assert_eq!(
+            svc.handle(Request::SyncLog),
+            Response::Synced {
+                spilled: 0,
+                wal_segments: 0,
+                compacted: false
+            }
+        );
+    }
+
+    #[test]
+    fn durable_close_survives_crash_and_recovery() {
+        let mem = lrf_storage::MemIo::handle();
+        let (svc, rec) = durable_service(mem.clone());
+        assert!(rec.seeded, "empty disk adopts the simulated seed log");
+        let seed_sessions = svc.log_sessions();
+        assert_eq!(seed_sessions, 20);
+
+        let resp = run_one_session(&svc, 5);
+        let Response::Closed {
+            log_session: Some(id),
+            durable,
+            ..
+        } = resp
+        else {
+            panic!("close failed: {resp:?}")
+        };
+        assert!(durable, "healthy storage must ack durably");
+        assert_eq!(id, seed_sessions);
+        let snap = svc.metrics_snapshot();
+        assert_eq!(snap.counter(names::WAL_APPENDS), Some(1));
+        assert_eq!(snap.counter(names::WAL_RETRIES), Some(0));
+        // Manual clock: the durable-flush stage recorded one zero-length
+        // span — deterministic proof the stage timer is wired.
+        let h = snap.histogram(names::STAGE_DURABLE_FLUSH).unwrap();
+        assert_eq!((h.count, h.sum), (1, 0));
+        assert_eq!(snap.counter(names::RECOVERY_SESSIONS), Some(0));
+        drop(svc);
+        mem.crash();
+
+        // Power loss: the acknowledged close must come back, with the
+        // recovery surfaced through the metrics registry.
+        let (svc, rec) = durable_service(mem.clone());
+        assert!(!rec.seeded, "disk state wins over the seed");
+        assert_eq!(rec.recovered_sessions, 21);
+        assert_eq!(rec.replayed_sessions, 1, "the close replays from the WAL");
+        assert_eq!(svc.log_sessions(), 21);
+        assert_eq!(
+            svc.metrics_snapshot().counter(names::RECOVERY_SESSIONS),
+            Some(21)
+        );
+    }
+
+    #[test]
+    fn outage_degrades_then_sync_log_reconciles() {
+        // Calibrate: service construction is the only storage traffic
+        // before the first flush (open/mark never touch disk), so a dry
+        // run pins the op index where the outage window must start.
+        let construction_ops = {
+            let mem = lrf_storage::MemIo::handle();
+            let fault = lrf_storage::FaultIo::handle(mem, lrf_storage::FaultPlan::new());
+            let (_svc, _) = durable_service(fault.clone());
+            fault.ops()
+        };
+
+        let mem = lrf_storage::MemIo::handle();
+        let fault = lrf_storage::FaultIo::handle(
+            mem.clone(),
+            lrf_storage::FaultPlan::outage(construction_ops, construction_ops + 30),
+        );
+        let (svc, _) = durable_service(fault.clone());
+
+        // Flush during the outage: acknowledged, honestly non-durable.
+        let resp = run_one_session(&svc, 5);
+        let Response::Closed {
+            log_session: Some(_),
+            durable,
+            ..
+        } = resp
+        else {
+            panic!("close failed: {resp:?}")
+        };
+        assert!(!durable, "flush during an outage must not claim durability");
+        let snap = svc.metrics_snapshot();
+        assert_eq!(snap.counter(names::WAL_APPEND_FAILURES), Some(1));
+        assert_eq!(snap.counter(names::WAL_RETRIES), Some(1), "max_attempts=2");
+        assert_eq!(snap.counter(names::WAL_SPILLED_SESSIONS), Some(1));
+        assert_eq!(snap.gauge(names::WAL_SPILL_DEPTH), Some(1));
+        assert_eq!(snap.gauge(names::STORAGE_DEGRADED), Some(1));
+        // The judgment still trains future queries (recorded volatile).
+        assert_eq!(svc.log_sessions(), 21);
+
+        // Admission control: spill depth 1 ≥ watermark 1 sheds new Opens.
+        let resp = svc.handle(Request::Open {
+            query: 0,
+            scheme: SchemeKind::Euclidean,
+        });
+        assert_eq!(
+            resp,
+            Response::err(ServiceError::Overloaded {
+                spilled_sessions: 1
+            })
+        );
+        assert_eq!(
+            svc.metrics_snapshot().counter(names::SHED_REQUESTS),
+            Some(1)
+        );
+
+        // While the outage holds, SyncLog reports Degraded and keeps the
+        // spill intact. Each failed attempt consumes op indices, so the
+        // window eventually ends and a later SyncLog drains everything.
+        let mut synced = None;
+        for attempt in 0..40 {
+            match svc.handle(Request::SyncLog) {
+                Response::Synced {
+                    spilled, compacted, ..
+                } => {
+                    synced = Some((attempt, spilled, compacted));
+                    break;
+                }
+                Response::Error {
+                    error: ServiceError::Degraded { .. },
+                } => continue,
+                other => panic!("unexpected SyncLog response: {other:?}"),
+            }
+        }
+        let (attempt, spilled, compacted) = synced.expect("outage window must end");
+        assert!(attempt > 0, "the first SyncLog lands inside the outage");
+        assert_eq!(spilled, 0);
+        assert!(compacted);
+        let snap = svc.metrics_snapshot();
+        assert_eq!(snap.gauge(names::WAL_SPILL_DEPTH), Some(0));
+        assert_eq!(snap.gauge(names::STORAGE_DEGRADED), Some(0));
+        assert!(snap.counter(names::WAL_COMPACTIONS).unwrap() >= 1);
+
+        // Admission reopens once reconciled.
+        assert!(matches!(
+            svc.handle(Request::Open {
+                query: 0,
+                scheme: SchemeKind::Euclidean,
+            }),
+            Response::Opened { .. }
+        ));
+
+        // And the backfilled session is now genuinely crash-safe.
+        drop(svc);
+        mem.crash();
+        let (svc, rec) = durable_service(mem.clone());
+        assert_eq!(rec.recovered_sessions, 21, "spilled session was backfilled");
+        assert_eq!(svc.log_sessions(), 21);
     }
 
     #[test]

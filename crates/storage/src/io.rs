@@ -1,0 +1,199 @@
+//! The injectable file-IO boundary.
+//!
+//! [`StorageIo`] is deliberately small and byte-oriented: whole-file reads,
+//! overwrite-writes, appends, truncates, syncs, renames, removes, and
+//! directory listing. That is everything the WAL and the snapshot writer
+//! need, and nothing a fault injector cannot model. All paths are plain
+//! `&Path`; backends decide what they mean (`StdIo` hands them to the OS,
+//! `MemIo` uses them as map keys).
+//!
+//! Durability contract shared by all backends:
+//!
+//! * `write`/`append`/`truncate` affect only the *volatile* image of a
+//!   file. After a crash their effects may be partially or wholly lost.
+//! * `sync` makes the current volatile content durable. Data acknowledged
+//!   only after a successful `sync` survives a crash.
+//! * `rename` is atomic and durable: after it returns `Ok`, the
+//!   destination holds the source's content even across a crash, and no
+//!   crash can leave both or neither name pointing at the content. (This
+//!   matches the rename+fsync'd-directory idiom `StdIo` implements; the
+//!   in-memory backend models the post-fsync state directly.)
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Alias for a shared handle to a storage backend.
+///
+/// This is deliberately `std::sync::Arc`, not `lrf_sync::Arc`: the loom-
+/// instrumented `Arc` cannot hold trait objects, and an IO handle is an
+/// immutable capability — there is no interleaving for loom to explore.
+pub type IoRef = std::sync::Arc<dyn StorageIo>;
+
+/// Byte-level file operations, injectable for fault testing.
+///
+/// Implementations must be safe to share across threads; interior
+/// mutability is the backend's problem.
+pub trait StorageIo: Send + Sync {
+    /// Read the entire file at `path`.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Create or truncate the file at `path` and write `data` to it.
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()>;
+
+    /// Append `data` to the file at `path`, creating it if absent.
+    ///
+    /// On error the file may hold a strict prefix of `data` (a torn
+    /// write); callers that need exactness must repair via [`truncate`]
+    /// back to the last known-good length.
+    ///
+    /// [`truncate`]: StorageIo::truncate
+    fn append(&self, path: &Path, data: &[u8]) -> io::Result<()>;
+
+    /// Truncate the file at `path` to `len` bytes.
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()>;
+
+    /// Make the file's current content durable (fsync).
+    fn sync(&self, path: &Path) -> io::Result<()>;
+
+    /// Atomically and durably rename `from` to `to` (see module docs).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Remove the file at `path`.
+    fn remove(&self, path: &Path) -> io::Result<()>;
+
+    /// List the files (not directories) directly under `dir`.
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>>;
+
+    /// Create `dir` and any missing parents.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+}
+
+/// The production backend: straight calls into `std::fs`.
+///
+/// `sync` opens the file and calls `sync_all`; `rename` follows with an
+/// fsync of the containing directory so the rename itself is durable —
+/// the standard crash-safe publish idiom on POSIX filesystems.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StdIo;
+
+impl StdIo {
+    /// Shared handle to the std backend.
+    pub fn handle() -> IoRef {
+        std::sync::Arc::new(StdIo)
+    }
+
+    fn sync_dir_of(path: &Path) -> io::Result<()> {
+        if let Some(dir) = path.parent() {
+            // Opening a directory read-only is enough to fsync it on the
+            // platforms we target; ignore platforms where it is not
+            // supported rather than fail the rename that already happened.
+            if let Ok(d) = std::fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    }
+}
+
+impl StorageIo for StdIo {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        std::fs::write(path, data)
+    }
+
+    fn append(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        f.write_all(data)
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        let f = std::fs::OpenOptions::new().write(true).open(path)?;
+        f.set_len(len)
+    }
+
+    fn sync(&self, path: &Path) -> io::Result<()> {
+        let f = std::fs::File::open(path)?;
+        f.sync_all()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)?;
+        Self::sync_dir_of(to)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                out.push(entry.path());
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let pid = std::process::id();
+        let dir = std::env::temp_dir().join(format!("lrf-storage-io-{pid}-{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    #[test]
+    fn std_io_roundtrip_append_truncate() {
+        let io = StdIo;
+        let dir = tmp_dir("roundtrip");
+        let path = dir.join("a.bin");
+
+        io.write(&path, b"hello").unwrap();
+        io.append(&path, b" world").unwrap();
+        assert_eq!(io.read(&path).unwrap(), b"hello world");
+
+        io.truncate(&path, 5).unwrap();
+        assert_eq!(io.read(&path).unwrap(), b"hello");
+
+        io.sync(&path).unwrap();
+        let listed = io.list(&dir).unwrap();
+        assert_eq!(listed, vec![path.clone()]);
+
+        let moved = dir.join("b.bin");
+        io.rename(&path, &moved).unwrap();
+        assert_eq!(io.read(&moved).unwrap(), b"hello");
+        assert!(io.read(&path).is_err());
+
+        io.remove(&moved).unwrap();
+        assert!(io.list(&dir).unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn std_io_read_missing_is_not_found() {
+        let io = StdIo;
+        let dir = tmp_dir("missing");
+        let err = io.read(&dir.join("nope")).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

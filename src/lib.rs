@@ -10,6 +10,7 @@
 //! * [`cbir`] — retrieval engine and evaluation protocol.
 //! * [`core`] — coupled SVM, LRF-CSVM, and baselines.
 //! * [`service`] — concurrent multi-session feedback service.
+//! * [`storage`] — injectable storage IO, checksummed WAL, fault injection.
 //! * [`obs`] — metrics registry, tracing spans, and the injectable clock.
 
 pub use lrf_cbir as cbir;
@@ -19,4 +20,5 @@ pub use lrf_imaging as imaging;
 pub use lrf_logdb as logdb;
 pub use lrf_obs as obs;
 pub use lrf_service as service;
+pub use lrf_storage as storage;
 pub use lrf_svm as svm;

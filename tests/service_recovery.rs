@@ -1,0 +1,240 @@
+//! Crash-safety integration: the durable service through the `corelog`
+//! facade. A `Close` acknowledged as durable survives a power cut; a
+//! storage outage degrades gracefully (volatile flush + spill + shed)
+//! and `SyncLog` reconciles the backlog back into the WAL; recovery
+//! counters surface through the metrics endpoint.
+
+use std::path::Path;
+
+use corelog::cbir::{build_flat_index, collect_log, CorelDataset, CorelSpec, ImageDatabase};
+use corelog::core::{LrfConfig, SchemeKind};
+use corelog::logdb::{LogStore, SimulationConfig};
+use corelog::obs::ManualClock;
+use corelog::service::{
+    DurabilityConfig, Request, Response, Service, ServiceConfig, ServiceError, ServiceMetrics,
+};
+use corelog::storage::{FaultIo, FaultPlan, IoRef, MemIo};
+
+const WAL_DIR: &str = "/srv/feedback-wal";
+
+fn corpus() -> (ImageDatabase, LogStore) {
+    let ds = CorelDataset::build(CorelSpec::tiny(4, 12, 19));
+    let log = collect_log(
+        &ds.db,
+        &SimulationConfig {
+            n_sessions: 12,
+            judged_per_session: 8,
+            rounds_per_query: 2,
+            noise: 0.1,
+            seed: 31,
+        },
+    );
+    (ds.db, log)
+}
+
+fn config() -> ServiceConfig {
+    ServiceConfig {
+        max_sessions: 16,
+        ttl_requests: 0,
+        screen_size: 8,
+        pool_size: 30,
+        lrf: LrfConfig {
+            n_unlabeled: 8,
+            ..LrfConfig::default()
+        },
+    }
+}
+
+fn policy() -> DurabilityConfig {
+    DurabilityConfig {
+        max_attempts: 2,
+        backoff_ns: 0,
+        deadline_ns: 0,
+        spill_capacity: 8,
+        shed_watermark: 1,
+        ..DurabilityConfig::default()
+    }
+}
+
+/// Builds a durable service over `io` with a deterministic clock.
+fn durable_service(io: IoRef) -> Service {
+    let (db, seed) = corpus();
+    let index = Box::new(build_flat_index(&db));
+    let (svc, _) = Service::with_durability_metrics(
+        db,
+        index,
+        io,
+        Path::new(WAL_DIR),
+        seed,
+        config(),
+        policy(),
+        ServiceMetrics::with_clock(ManualClock::shared()),
+    )
+    .expect("durable service must open");
+    svc
+}
+
+/// One minimal session: open, judge a handful, close. Returns the
+/// `Closed` ack's `(log_session, durable)`.
+fn run_one_session(svc: &Service, query: usize) -> (Option<usize>, bool) {
+    let Response::Opened { session, screen } = svc.handle(Request::Open {
+        query,
+        scheme: SchemeKind::RfSvm,
+    }) else {
+        panic!("open failed")
+    };
+    for &id in screen.iter().take(4) {
+        let _ = svc.handle(Request::Mark {
+            session,
+            image: id,
+            relevant: svc.db().same_category(id, query),
+        });
+    }
+    match svc.handle(Request::Close { session }) {
+        Response::Closed {
+            log_session,
+            durable,
+            ..
+        } => (log_session, durable),
+        other => panic!("close failed: {other:?}"),
+    }
+}
+
+fn log_sessions(svc: &Service) -> usize {
+    match svc.handle(Request::Stats) {
+        Response::Stats { log_sessions, .. } => log_sessions,
+        other => panic!("stats failed: {other:?}"),
+    }
+}
+
+#[test]
+fn durable_close_survives_power_cut() {
+    let mem = MemIo::handle();
+    let svc = durable_service(mem.clone());
+    assert_eq!(log_sessions(&svc), 12, "seeded from the historical log");
+
+    let (id, durable) = run_one_session(&svc, 2);
+    assert_eq!(id, Some(12));
+    assert!(durable, "a healthy disk acknowledges a durable flush");
+
+    drop(svc);
+    mem.crash(); // power cut: volatile writes gone, fsynced WAL stays
+
+    let svc = durable_service(mem.clone());
+    assert_eq!(
+        log_sessions(&svc),
+        13,
+        "12 seeded + 1 acknowledged session replay after the crash"
+    );
+    // And the recovered log keeps serving: another full session works.
+    let (id, durable) = run_one_session(&svc, 5);
+    assert_eq!(id, Some(13));
+    assert!(durable);
+}
+
+#[test]
+fn outage_degrades_then_sync_log_reconciles() {
+    // Pin the outage window to the first flush: construction is the only
+    // storage traffic before it, so a dry run counts the ops it consumes.
+    let probe = FaultIo::handle(MemIo::io_ref(), FaultPlan::new());
+    let svc = durable_service(probe.clone());
+    let construction_ops = probe.ops();
+    drop(svc);
+
+    let mem = MemIo::handle();
+    let fault = FaultIo::handle(
+        mem.clone(),
+        FaultPlan::outage(construction_ops, construction_ops + 40),
+    );
+    let svc = durable_service(fault.clone());
+
+    // The flush exhausts its retry budget against the dead disk, degrades
+    // to a volatile record, and still acknowledges the close — honestly.
+    let (id, durable) = run_one_session(&svc, 2);
+    assert_eq!(id, Some(12), "the judgment still trains future sessions");
+    assert!(!durable, "a failing disk must not be called durable");
+
+    // Past the shed watermark, new sessions are refused with a typed error.
+    match svc.handle(Request::Open {
+        query: 1,
+        scheme: SchemeKind::RfSvm,
+    }) {
+        Response::Error {
+            error: ServiceError::Overloaded { spilled_sessions },
+        } => assert_eq!(spilled_sessions, 1),
+        other => panic!("expected Overloaded while degraded, got {other:?}"),
+    }
+
+    // Reconcile: SyncLog drains the spill queue once the outage lifts.
+    // Each failed attempt consumes fault-plan ops, so loop until healed.
+    let mut reconciled = false;
+    for _ in 0..40 {
+        match svc.handle(Request::SyncLog) {
+            Response::Synced {
+                spilled, compacted, ..
+            } => {
+                assert_eq!(spilled, 0, "a successful sync drains everything");
+                assert!(compacted, "sync compacts the backfilled WAL");
+                reconciled = true;
+                break;
+            }
+            Response::Error {
+                error: ServiceError::Degraded { .. },
+            } => continue, // still inside the outage window
+            other => panic!("unexpected sync response: {other:?}"),
+        }
+    }
+    assert!(reconciled, "the outage window must end within the loop");
+
+    // Admission reopens and flushes are durable again.
+    let (_, durable) = run_one_session(&svc, 3);
+    assert!(durable);
+
+    // The spilled session was backfilled into the WAL: it survives a cut.
+    drop(svc);
+    mem.crash();
+    let svc = durable_service(mem.clone());
+    assert_eq!(
+        log_sessions(&svc),
+        14,
+        "12 seeded + 1 spilled-then-synced + 1 durable close"
+    );
+}
+
+#[test]
+fn recovery_counters_surface_through_metrics_endpoint() {
+    let mem = MemIo::handle();
+    let svc = durable_service(mem.clone());
+    run_one_session(&svc, 2);
+    drop(svc);
+    mem.crash();
+
+    // Rebuild with explicit metrics so the recovery counters are visible.
+    let (db, seed) = corpus();
+    let index = Box::new(build_flat_index(&db));
+    let metrics = ServiceMetrics::with_clock(ManualClock::shared());
+    let io: IoRef = mem.clone();
+    let (svc, recovery) = Service::with_durability_metrics(
+        db,
+        index,
+        io,
+        Path::new(WAL_DIR),
+        seed,
+        config(),
+        policy(),
+        metrics,
+    )
+    .expect("recovery must succeed");
+    assert!(!recovery.seeded);
+    assert_eq!(recovery.recovered_sessions, 13);
+    assert_eq!(recovery.replayed_sessions, 1);
+
+    let Response::Metrics { snapshot } = svc.handle(Request::Metrics) else {
+        panic!("metrics endpoint failed")
+    };
+    assert_eq!(snapshot.counter("recovery_sessions_total"), Some(13));
+    assert_eq!(
+        snapshot.counter("recovery_truncated_records_total"),
+        Some(0)
+    );
+}

@@ -7,16 +7,24 @@
 #   svm_train/round     cold retrain          vs  warm-started retrain
 #   svm_train/gram      eager Gram precompute vs  lazy kernel-row cache
 #   obs_overhead        untimed baseline      vs  fully instrumented service
+#   wal_flush           volatile close path   vs  WAL-fsynced close path
 #
 # The obs_overhead pair is held to OVERHEAD_MARGIN_PCT (5%): the
 # instrumented service must stay within 5% of the counters-only baseline,
 # the budget that keeps tracing always-on in production.
 #
-# The service_throughput bench also prints `service_latency/<stage>/<pN>`
-# percentile lines read back from the service's own metrics endpoint;
-# they are persisted to bench-results/BENCH_latency.json (and their
-# presence is enforced — a silent loss of the metrics endpoint would
-# otherwise look like a green run).
+# The wal_flush pair is held to WAL_MARGIN_PCT (50%): a durably
+# acknowledged session (WAL framing + CRC + fsync on the close) may cost
+# at most half again the volatile close path. That is the documented
+# durability tax — a blown margin means the WAL hot path regressed.
+#
+# The service_throughput and wal_flush benches also print
+# `service_latency/<stage>/<pN>` percentile lines read back from the
+# service's own metrics endpoint (wal_flush contributes the
+# flush_durability stage); they are persisted to
+# bench-results/BENCH_latency.json (and their presence is enforced — a
+# silent loss of the metrics endpoint would otherwise look like a green
+# run).
 #
 # On a single-core machine the parallel paths fall back to (or degenerate
 # into) the serial ones, so the gate only *reports* there — the comparison
@@ -43,6 +51,9 @@ MARGIN_PCT=10
 # The instrumentation budget: timed metrics may cost at most this much
 # over the untimed baseline.
 OVERHEAD_MARGIN_PCT=5
+# The durability budget: a WAL-fsynced close path may cost at most this
+# much over the volatile one.
+WAL_MARGIN_PCT=50
 
 # Portable core detection: nproc (GNU), sysctl (macOS/BSD), getconf
 # (POSIX); 1 if all else fails so the gate degrades to report-only.
@@ -54,6 +65,7 @@ BENCH_QUICK=1 cargo bench -p lrf-bench --bench svm_score | tee -a "$RAW"
 BENCH_QUICK=1 cargo bench -p lrf-bench --bench service_throughput | tee -a "$RAW"
 BENCH_QUICK=1 cargo bench -p lrf-bench --bench svm_train | tee -a "$RAW"
 BENCH_QUICK=1 cargo bench -p lrf-bench --bench obs_overhead | tee -a "$RAW"
+BENCH_QUICK=1 cargo bench -p lrf-bench --bench wal_flush | tee -a "$RAW"
 
 # Lines look like:  bench svm_score/nsv8/serial/2000   344,467 ns/iter
 # The harness prints "123.4" below 1e3, comma-grouped integers below 1e9,
@@ -125,10 +137,12 @@ check_faster() { # check_faster <label> <baseline_name> <optimized_name>
     { \"check\": \"${label}\", \"serial_ns\": ${baseline_ns}, \"parallel_ns\": ${optimized_ns}, \"speedup\": ${speedup}, \"verdict\": \"${verdict}\" }"
 }
 
-check_overhead() { # check_overhead <label> <baseline_name> <instrumented_name>
-    # Like check_pair but with the tighter OVERHEAD_MARGIN_PCT budget: the
-    # instrumented path may cost at most that much over the baseline.
+check_overhead() { # check_overhead <label> <baseline_name> <instrumented_name> [margin_pct]
+    # Like check_pair but with an explicit overhead budget: the
+    # instrumented path may cost at most that much over the baseline
+    # (default: the OVERHEAD_MARGIN_PCT instrumentation budget).
     local label="$1" baseline_name="$2" instrumented_name="$3"
+    local OVERHEAD_MARGIN_PCT="${4:-$OVERHEAD_MARGIN_PCT}"
     local baseline_ns instrumented_ns verdict
     baseline_ns="$(lookup "$baseline_name")"
     instrumented_ns="$(lookup "$instrumented_name")"
@@ -160,6 +174,7 @@ check_pair "service_throughput/4sessions" "service_throughput/serial/4" "service
 check_faster "svm_train/round_warm_vs_cold" "svm_train/round/cold/120" "svm_train/round/warm/120"
 check_pair "svm_train/gram_cached_vs_precomputed" "svm_train/gram/precomputed/240" "svm_train/gram/cached/240"
 check_overhead "obs_overhead/4sessions" "obs_overhead/untimed" "obs_overhead/timed"
+check_overhead "wal_flush/durability_tax" "wal_flush/volatile" "wal_flush/durable" "$WAL_MARGIN_PCT"
 
 # Persist the service's self-reported latency percentiles. The lines come
 # from the metrics endpoint driven by the service_throughput bench, so an

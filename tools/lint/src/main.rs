@@ -18,6 +18,11 @@
 //!   modelable.
 //! * **no-println** — no `println!` / `eprintln!` / `print!` / `eprint!`
 //!   / `dbg!` in library crates (binaries under `src/bin/` may print).
+//! * **raw-fs** — no direct `std::fs` / `File::open` / `OpenOptions` in
+//!   first-party library code outside `lrf-storage`: file IO goes through
+//!   the injectable `StorageIo` layer, so every durability path stays
+//!   fault-testable (`FaultIo`) and crash-simulable (`MemIo`). Vendored
+//!   crates and `#[cfg(test)]` scaffolding are exempt.
 //!
 //! A violation can be waived in place with a justified annotation:
 //!
@@ -38,7 +43,13 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const RULES: [&str; 4] = ["service-panic", "std-sync", "wall-clock", "no-println"];
+const RULES: [&str; 5] = [
+    "service-panic",
+    "std-sync",
+    "wall-clock",
+    "no-println",
+    "raw-fs",
+];
 
 /// (rule, tokens that trigger it). Tokens starting with an identifier
 /// character are matched with an identifier boundary on the left, so
@@ -56,6 +67,7 @@ fn rule_tokens(rule: &str) -> &'static [&'static str] {
         "std-sync" => &["std::sync"],
         "wall-clock" => &["Instant", "SystemTime"],
         "no-println" => &["println!", "eprintln!", "print!", "eprint!", "dbg!"],
+        "raw-fs" => &["std::fs", "File::open", "File::create", "OpenOptions"],
         other => panic!("unknown rule {other}"),
     }
 }
@@ -69,6 +81,9 @@ fn rule_hint(rule: &str) -> &'static str {
             "inject `lrf_obs::Clock` (`MonotonicClock` in production, `ManualClock` in tests)"
         }
         "no-println" => "library code stays silent; print from binaries",
+        "raw-fs" => {
+            "route file IO through an injected `lrf_storage::StorageIo` so faults stay testable"
+        }
         other => panic!("unknown rule {other}"),
     }
 }
@@ -494,14 +509,25 @@ fn scopes() -> Vec<(Vec<&'static str>, Vec<&'static str>)> {
         // are facade-only in the concurrency-bearing crates.
         (
             vec!["crates/service/src"],
-            vec!["service-panic", "std-sync", "wall-clock", "no-println"],
+            vec![
+                "service-panic",
+                "std-sync",
+                "wall-clock",
+                "no-println",
+                "raw-fs",
+            ],
         ),
         (
             vec!["crates/logdb/src"],
-            vec!["std-sync", "wall-clock", "no-println"],
+            vec!["std-sync", "wall-clock", "no-println", "raw-fs"],
         ),
-        // Every other first-party library crate: no stray prints, and no
-        // wall-clock reads — timing is injected via `lrf_obs::Clock`.
+        // `lrf-storage` is the one crate allowed to touch `std::fs`: its
+        // `StdIo` backend is where raw file IO is supposed to live. It is
+        // still held to the determinism rules.
+        (vec!["crates/storage/src"], vec!["wall-clock", "no-println"]),
+        // Every other first-party library crate: no stray prints, no
+        // wall-clock reads — timing is injected via `lrf_obs::Clock` — and
+        // no raw file IO, which goes through `lrf_storage::StorageIo`.
         // `crates/obs` itself is in scope: `MonotonicClock` carries the
         // only waived `Instant` reads in the workspace.
         (
@@ -517,7 +543,7 @@ fn scopes() -> Vec<(Vec<&'static str>, Vec<&'static str>)> {
                 "crates/obs/src",
                 "src",
             ],
-            vec!["wall-clock", "no-println"],
+            vec!["wall-clock", "no-println", "raw-fs"],
         ),
         // Vendored stand-ins are library code too, so no stray prints —
         // but they may read the wall clock internally. vendor/criterion is
@@ -719,6 +745,42 @@ fn f() -> u32 { 7 }
     }
 
     #[test]
+    fn raw_fs_flags_direct_file_io_but_not_comments_or_tests() {
+        let src = "
+// std::fs in a comment is fine
+fn load(p: &std::path::Path) -> Vec<u8> {
+    std::fs::read(p).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    fn scratch() {
+        std::fs::create_dir_all(\"/tmp/x\").unwrap();
+    }
+}
+";
+        let findings = lint(src, &["raw-fs"]);
+        assert_eq!(findings.len(), 1, "only the non-test read is a finding");
+        assert_eq!(findings[0].line, 4);
+        assert!(
+            findings[0].message.contains("lrf_storage::StorageIo"),
+            "raw-fs findings must route the author to the storage layer: {}",
+            findings[0].message
+        );
+    }
+
+    #[test]
+    fn raw_fs_waiver_works_like_any_other() {
+        let src = "
+fn probe() -> bool {
+    // lrf-lint: allow(raw-fs): startup-only existence probe, no IO injected yet
+    std::fs::metadata(\"/etc/hosts\").is_ok()
+}
+";
+        assert!(lint(src, &["raw-fs"]).is_empty());
+    }
+
+    #[test]
     fn lifetimes_do_not_open_char_literals() {
         // A naive char-literal scanner would treat 'a as opening a
         // literal and swallow the .unwrap() that follows.
@@ -774,6 +836,21 @@ fn origin() -> std::time::Instant {
         // from everything.
         assert!(!rules_for("crates/vendor/proptest/src").contains(&"wall-clock"));
         assert!(rules_for("crates/vendor/criterion/src").is_empty());
+        // Raw file IO is storage's job and nobody else's: every other
+        // first-party crate is held to raw-fs, storage itself is not.
+        for dir in [
+            "crates/service/src",
+            "crates/logdb/src",
+            "crates/cbir/src",
+            "src",
+        ] {
+            assert!(
+                rules_for(dir).contains(&"raw-fs"),
+                "{dir} must be held to the raw-fs rule"
+            );
+        }
+        assert!(!rules_for("crates/storage/src").contains(&"raw-fs"));
+        assert!(rules_for("crates/storage/src").contains(&"no-println"));
     }
 
     #[test]
