@@ -35,6 +35,6 @@ pub use distance::{euclidean_distance, rank_by_euclidean, squared_euclidean, top
 pub use eval::{precision_at, FeedbackExample, PrecisionCurve, QueryProtocol, CUTOFFS};
 pub use logglue::{collect_log, collect_log_with_index};
 pub use retrieval::{
-    build_flat_index, build_ivf_index, build_lsh_index, rank_with_index, rank_with_index_stats,
-    top_k_ids,
+    build_flat_index, build_flat_shards, build_ivf_index, build_lsh_index, rank_with_index,
+    rank_with_index_stats, top_k_ids,
 };

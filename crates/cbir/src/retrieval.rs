@@ -24,12 +24,23 @@
 //! IVF/LSH trade a bounded recall loss for sublinear distance work.
 
 use crate::database::ImageDatabase;
-use lrf_index::{AnnIndex, FlatIndex, IvfConfig, IvfIndex, LshConfig, LshIndex, SearchStats};
+use lrf_index::{
+    AnnIndex, FlatIndex, FlatShard, IvfConfig, IvfIndex, LshConfig, LshIndex, SearchStats,
+};
 
 /// Builds the exact (flat) index over the database — the default backend.
 /// The index shares the database's feature allocation (no copy).
 pub fn build_flat_index(db: &ImageDatabase) -> FlatIndex {
     FlatIndex::from_shared(db.features_shared(), db.dim())
+}
+
+/// Splits the database into `n_shards` contiguous-id flat shards for a
+/// scatter-gather serving tier. Every shard shares the database's one
+/// feature allocation (no rows are copied) and emits global image ids, so
+/// a coordinator can merge shard results directly. The shard count clamps
+/// to the database size; the ranges partition `0..db.len()` exactly.
+pub fn build_flat_shards(db: &ImageDatabase, n_shards: usize) -> Vec<FlatShard> {
+    FlatShard::split_shared(db.features_shared(), db.dim(), n_shards)
 }
 
 /// Builds an IVF index over the database, sharing its feature allocation.

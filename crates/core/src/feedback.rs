@@ -71,6 +71,29 @@ pub struct QueryContext<'a> {
     pub example: &'a FeedbackExample,
 }
 
+/// A trained, immutable decision function over image ids — the unit of
+/// work a scatter-gather scoring plane distributes. Produced by
+/// [`RelevanceFeedback::fit_warm`]; owns its support vectors, so it is
+/// `'static` and can be shipped to shard workers behind an `Arc`.
+///
+/// **Partition invariance contract:** `score_ids` must be a pure per-id
+/// function — for any partition of `ids` into disjoint subsets, scoring
+/// the subsets and stitching the results back in order is bit-identical
+/// to scoring `ids` in one call. Every SVM scorer satisfies this because
+/// a decision value depends only on the model and the one row being
+/// scored ([`lrf_svm::SvmModel::decision_batch`] is asserted
+/// bit-identical to the serial per-row loop).
+pub trait PoolScorer: Send + Sync {
+    /// Decision scores aligned with `ids`.
+    fn score_ids(&self, db: &ImageDatabase, log: &LogStore, ids: &[usize]) -> Vec<f64>;
+}
+
+/// A shareable handle to a trained scorer — the currency of the
+/// scatter-gather scoring plane. A plain atomically-refcounted pointer
+/// (never a loom type: scorers cross real thread boundaries in
+/// production builds).
+pub type ScorerRef = std::sync::Arc<dyn PoolScorer>;
+
 /// A relevance-feedback scheme: given one feedback round, produce a full
 /// ranking of the database (most relevant first).
 pub trait RelevanceFeedback {
@@ -100,19 +123,47 @@ pub trait RelevanceFeedback {
             .map(|all| ids.iter().map(|&id| all[id]).collect())
     }
 
+    /// Trains the scheme's decision function for one round and returns it
+    /// as a shippable [`PoolScorer`], seeding the solver from `warm` and
+    /// depositing the new solution (and [`RoundDiagnostics`]) back. The
+    /// `pool` is the candidate universe of the round — schemes whose
+    /// training itself depends on the retrieval universe (LRF-CSVM's
+    /// unlabeled selection) draw from it, so fitting against a pool and
+    /// then scoring that pool reproduces the fused path exactly.
+    ///
+    /// `None` means the scheme has no trainable decision function
+    /// (Euclidean): callers fall back to [`score_ids`](Self::score_ids) /
+    /// pool order. Schemes with scores override this; the split is what
+    /// lets a serving coordinator train **once** and scatter the scoring
+    /// across shard workers.
+    fn fit_warm(
+        &self,
+        _ctx: &QueryContext<'_>,
+        _pool: &[usize],
+        _warm: &mut WarmState,
+    ) -> Option<ScorerRef> {
+        None
+    }
+
     /// [`score_ids`](Self::score_ids) with session warm-start state: the
     /// scheme may seed its solver from `warm`'s previous-round alphas and
     /// must deposit the new solution (and [`RoundDiagnostics`]) back for
-    /// the next round. The default ignores the state and scores cold, so
-    /// schemes without training (Euclidean) need no override, and a fresh
-    /// [`WarmState`] makes this identical to `score_ids` by construction.
+    /// the next round. Routed through [`fit_warm`](Self::fit_warm) — fit
+    /// once, score the pool locally — so the in-process path and a
+    /// scatter-gather serving plane run the *same* trained model; schemes
+    /// without training (Euclidean) fall back to the cold
+    /// [`score_ids`](Self::score_ids), and a fresh [`WarmState`] makes
+    /// this identical to `score_ids` by construction.
     fn score_ids_warm(
         &self,
         ctx: &QueryContext<'_>,
         ids: &[usize],
-        _warm: &mut WarmState,
+        warm: &mut WarmState,
     ) -> Option<Vec<f64>> {
-        self.score_ids(ctx, ids)
+        match self.fit_warm(ctx, ids, warm) {
+            Some(scorer) => Some(scorer.score_ids(ctx.db, ctx.log, ids)),
+            None => self.score_ids(ctx, ids),
+        }
     }
 }
 

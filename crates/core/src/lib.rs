@@ -77,11 +77,13 @@ pub use active::RoundSelection;
 pub use config::{CoupledConfig, LrfConfig, PseudoLabelInit, UnlabeledSelection};
 pub use coupled::{train_coupled, CoupledOutcome, TrainReport};
 pub use euclidean::EuclideanScheme;
-pub use feedback::{QueryContext, RelevanceFeedback, RoundDiagnostics, WarmState};
+pub use feedback::{
+    PoolScorer, QueryContext, RelevanceFeedback, RoundDiagnostics, ScorerRef, WarmState,
+};
 pub use kernels::{LogCosineRbfKernel, LogKernel, LogLinearKernel, LogRbfKernel};
 pub use log_collection::collect_feedback_log;
 pub use lrf_2svms::Lrf2Svms;
 pub use lrf_csvm::LrfCsvm;
-pub use pooled::{rank_candidates, rank_candidates_warm, PooledRetrieval};
+pub use pooled::{rank_candidates, rank_candidates_warm, rank_pool_by_scores, PooledRetrieval};
 pub use rf_svm::RfSvm;
 pub use rounds::{FeedbackLoop, RoundError, SchemeKind};

@@ -9,7 +9,8 @@
 
 use crate::config::LrfConfig;
 use crate::feedback::{
-    rank_by_scores, QueryContext, RelevanceFeedback, RoundDiagnostics, WarmState,
+    rank_by_scores, PoolScorer, QueryContext, RelevanceFeedback, RoundDiagnostics, ScorerRef,
+    WarmState,
 };
 use crate::kernels::LogKernel;
 use crate::rf_svm::RfSvm;
@@ -121,12 +122,12 @@ impl RelevanceFeedback for Lrf2Svms {
         )
     }
 
-    fn score_ids_warm(
+    fn fit_warm(
         &self,
         ctx: &QueryContext<'_>,
-        ids: &[usize],
+        _pool: &[usize],
         warm: &mut WarmState,
-    ) -> Option<Vec<f64>> {
+    ) -> Option<ScorerRef> {
         let content = RfSvm::new(self.config).train_content_svm_warm(ctx, warm.content.as_deref());
         let logside = self.train_log_svm_warm(ctx, warm.log.as_deref());
         let mut diag = RoundDiagnostics::all_converged();
@@ -135,15 +136,37 @@ impl RelevanceFeedback for Lrf2Svms {
         warm.content = Some(content.alpha.clone());
         warm.log = Some(logside.alpha.clone());
         warm.last = Some(diag);
-        let content_scores = RfSvm::score_subset(ctx.db, &content.model, ids);
-        let log_scores = Self::score_subset_log(ctx.log, &logside.model, ids);
-        Some(
-            content_scores
-                .iter()
-                .zip(&log_scores)
-                .map(|(c, l)| c + l)
-                .collect(),
-        )
+        Some(std::sync::Arc::new(SummedScorer {
+            content: content.model,
+            log: logside.model,
+        }))
+    }
+}
+
+/// [`PoolScorer`] for the two-modality schemes: one content model plus one
+/// log model, summed per id — the `f_w(x_i) + f_u(r_i)` of the paper.
+/// Shared by LRF-2SVMs (independent machines) and LRF-CSVM (the coupled
+/// outcome's machines); only how the models were *trained* differs, so
+/// shard-side scoring is one code path.
+pub(crate) struct SummedScorer {
+    pub(crate) content: SvmModel<[f64], lrf_svm::RbfKernel>,
+    pub(crate) log: SvmModel<SparseVector, LogKernel>,
+}
+
+impl PoolScorer for SummedScorer {
+    fn score_ids(
+        &self,
+        db: &lrf_cbir::ImageDatabase,
+        log: &lrf_logdb::LogStore,
+        ids: &[usize],
+    ) -> Vec<f64> {
+        let content_scores = RfSvm::score_subset(db, &self.content, ids);
+        let log_scores = Lrf2Svms::score_subset_log(log, &self.log, ids);
+        content_scores
+            .iter()
+            .zip(&log_scores)
+            .map(|(c, l)| c + l)
+            .collect()
     }
 }
 

@@ -22,11 +22,21 @@
 
 use crate::config::{LrfConfig, PseudoLabelInit, UnlabeledSelection};
 use crate::coupled::{train_coupled, CoupledOutcome, TrainReport};
-use crate::feedback::{QueryContext, RelevanceFeedback, RoundDiagnostics, WarmState};
-use crate::lrf_2svms::Lrf2Svms;
+use crate::feedback::{
+    PoolScorer, QueryContext, RelevanceFeedback, RoundDiagnostics, ScorerRef, WarmState,
+};
+use crate::lrf_2svms::{Lrf2Svms, SummedScorer};
 use crate::rf_svm::RfSvm;
 use lrf_logdb::SparseVector;
 use lrf_svm::RbfKernel;
+
+/// Output of [`LrfCsvm::fit_on`] — the coupled round's trained decision
+/// function plus the diagnostics `run_inner` folds into its outcome.
+struct CsvmFit {
+    scorer: SummedScorer,
+    unlabeled_ids: Vec<usize>,
+    report: TrainReport,
+}
 
 /// The paper's algorithm.
 #[derive(Clone, Debug, Default)]
@@ -81,10 +91,48 @@ impl LrfCsvm {
         universe: Option<&[usize]>,
         warm: Option<&mut WarmState>,
     ) -> LrfCsvmOutcome {
+        let universe: Vec<usize> =
+            universe.map_or_else(|| (0..ctx.db.len()).collect(), <[usize]>::to_vec);
+        let fit = self.fit_on(ctx, &universe, warm);
+
+        // ---- Step 3: rank by CSVM_Dist over the retrieval universe. Both
+        // machines score their whole candidate pool in one parallel batch
+        // pass; the per-id sum equals `coupled_score` exactly. Scoring goes
+        // through the fitted [`PoolScorer`] — the same object a
+        // scatter-gather serving plane ships to shard workers, so the fused
+        // and sharded paths run identical arithmetic.
+        let scores = fit.scorer.score_ids(ctx.db, ctx.log, &universe);
+        // Order universe members by descending score, ties by id — for the
+        // full universe this is exactly rank_by_scores.
+        let mut order: Vec<usize> = (0..universe.len()).collect();
+        order.sort_by(|&a, &b| {
+            crate::feedback::cmp_scores_desc(scores[a], scores[b])
+                .then(universe[a].cmp(&universe[b]))
+        });
+        let ranking: Vec<usize> = order.into_iter().map(|i| universe[i]).collect();
+
+        LrfCsvmOutcome {
+            ranking,
+            scores,
+            unlabeled_ids: fit.unlabeled_ids,
+            report: fit.report,
+        }
+    }
+
+    /// Steps 1–2 of Fig. 1 — unlabeled selection and coupled training —
+    /// producing the round's trained decision function plus diagnostics.
+    /// The retrieval step is deliberately *not* here: the returned scorer
+    /// is partition-invariant, so callers may score the universe locally
+    /// (`run_inner`) or scatter disjoint slices across shard workers and
+    /// get bit-identical results.
+    fn fit_on(
+        &self,
+        ctx: &QueryContext<'_>,
+        universe: &[usize],
+        warm: Option<&mut WarmState>,
+    ) -> CsvmFit {
         let cfg = &self.config;
         let db = ctx.db;
-        let universe: Vec<usize> =
-            universe.map_or_else(|| (0..db.len()).collect(), <[usize]>::to_vec);
 
         // Previous-round seeds for step 1's labeled-only SVMs: the labeled
         // prefix of the last coupled solution is bounded by the same `C` as
@@ -98,8 +146,8 @@ impl LrfCsvm {
         let content0 = RfSvm::new(*cfg).train_content_svm_warm(ctx, seed_content.as_deref());
         let log0 = Lrf2Svms::new(*cfg).train_log_svm_warm(ctx, seed_log.as_deref());
 
-        let content_scores = RfSvm::score_subset(db, &content0.model, &universe);
-        let log_scores = Lrf2Svms::score_subset_log(ctx.log, &log0.model, &universe);
+        let content_scores = RfSvm::score_subset(db, &content0.model, universe);
+        let log_scores = Lrf2Svms::score_subset_log(ctx.log, &log0.model, universe);
         let labeled: std::collections::HashSet<usize> =
             ctx.example.labeled.iter().map(|&(id, _)| id).collect();
         let scored: Vec<(usize, f64)> = universe
@@ -149,28 +197,6 @@ impl LrfCsvm {
         )
         .expect("coupled training cannot fail on validated feedback rounds");
 
-        // ---- Step 3: rank by CSVM_Dist over the retrieval universe. Both
-        // machines score their whole candidate pool in one parallel batch
-        // pass; the per-id sum equals `coupled_score` exactly.
-        let content_rows: Vec<&[f64]> = universe.iter().map(|&id| db.feature(id)).collect();
-        let log_rows: Vec<&SparseVector> =
-            universe.iter().map(|&id| ctx.log.log_vector(id)).collect();
-        let content_dist = outcome.content.model.decision_batch(&content_rows);
-        let log_dist = outcome.log.model.decision_batch(&log_rows);
-        let scores: Vec<f64> = content_dist
-            .iter()
-            .zip(&log_dist)
-            .map(|(c, l)| c + l)
-            .collect();
-        // Order universe members by descending score, ties by id — for the
-        // full universe this is exactly rank_by_scores.
-        let mut order: Vec<usize> = (0..universe.len()).collect();
-        order.sort_by(|&a, &b| {
-            crate::feedback::cmp_scores_desc(scores[a], scores[b])
-                .then(universe[a].cmp(&universe[b]))
-        });
-        let ranking: Vec<usize> = order.into_iter().map(|i| universe[i]).collect();
-
         if let Some(w) = warm {
             let n_l = y.len();
             let mut diag = RoundDiagnostics::all_converged();
@@ -183,9 +209,11 @@ impl LrfCsvm {
             w.last = Some(diag);
         }
 
-        LrfCsvmOutcome {
-            ranking,
-            scores,
+        CsvmFit {
+            scorer: SummedScorer {
+                content: outcome.content.model,
+                log: outcome.log.model,
+            },
             unlabeled_ids,
             report: outcome.report,
         }
@@ -298,13 +326,15 @@ impl RelevanceFeedback for LrfCsvm {
         Some(self.run_pooled(ctx, ids).scores)
     }
 
-    fn score_ids_warm(
+    fn fit_warm(
         &self,
         ctx: &QueryContext<'_>,
-        ids: &[usize],
+        pool: &[usize],
         warm: &mut WarmState,
-    ) -> Option<Vec<f64>> {
-        Some(self.run_inner(ctx, Some(ids), Some(warm)).scores)
+    ) -> Option<ScorerRef> {
+        Some(std::sync::Arc::new(
+            self.fit_on(ctx, pool, Some(warm)).scorer,
+        ))
     }
 }
 

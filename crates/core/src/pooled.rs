@@ -103,21 +103,40 @@ pub fn rank_candidates_warm<S: RelevanceFeedback + ?Sized>(
     pool: &[usize],
     warm: &mut WarmState,
 ) -> Vec<usize> {
-    let mut head = match scheme.score_ids_warm(ctx, pool, warm) {
-        Some(scores) => {
-            let mut order: Vec<usize> = (0..pool.len()).collect();
-            order.sort_by(|&a, &b| {
-                crate::feedback::cmp_scores_desc(scores[a], scores[b]).then(pool[a].cmp(&pool[b]))
-            });
-            order.into_iter().map(|i| pool[i]).collect::<Vec<usize>>()
+    match scheme.score_ids_warm(ctx, pool, warm) {
+        Some(scores) => rank_pool_by_scores(ctx.db.len(), pool, &scores),
+        None => {
+            let mut head = pool.to_vec();
+            let mut in_head = vec![false; ctx.db.len()];
+            for &id in &head {
+                in_head[id] = true;
+            }
+            head.extend((0..ctx.db.len()).filter(|&id| !in_head[id]));
+            head
         }
-        None => pool.to_vec(),
-    };
-    let mut in_head = vec![false; ctx.db.len()];
+    }
+}
+
+/// The score → full-ranking step shared by every scored path: pool members
+/// sorted by descending score (ties by ascending id, NaN last), then every
+/// out-of-pool id appended ascending. `scores` is aligned with `pool`.
+///
+/// Factored out so the in-process re-rank ([`rank_candidates_warm`]) and a
+/// scatter-gather serving plane (which gathers the same scores from shard
+/// workers) merge through the *same* comparator — the two paths cannot
+/// drift apart in tie-break order.
+pub fn rank_pool_by_scores(n_images: usize, pool: &[usize], scores: &[f64]) -> Vec<usize> {
+    assert_eq!(pool.len(), scores.len(), "scores must align with the pool");
+    let mut order: Vec<usize> = (0..pool.len()).collect();
+    order.sort_by(|&a, &b| {
+        crate::feedback::cmp_scores_desc(scores[a], scores[b]).then(pool[a].cmp(&pool[b]))
+    });
+    let mut head: Vec<usize> = order.into_iter().map(|i| pool[i]).collect();
+    let mut in_head = vec![false; n_images];
     for &id in &head {
         in_head[id] = true;
     }
-    head.extend((0..ctx.db.len()).filter(|&id| !in_head[id]));
+    head.extend((0..n_images).filter(|&id| !in_head[id]));
     head
 }
 

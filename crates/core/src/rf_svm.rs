@@ -7,7 +7,8 @@
 
 use crate::config::LrfConfig;
 use crate::feedback::{
-    rank_by_scores, QueryContext, RelevanceFeedback, RoundDiagnostics, WarmState,
+    rank_by_scores, PoolScorer, QueryContext, RelevanceFeedback, RoundDiagnostics, ScorerRef,
+    WarmState,
 };
 use lrf_svm::{train_warm, RbfKernel, SvmModel, TrainedSvm};
 
@@ -104,18 +105,36 @@ impl RelevanceFeedback for RfSvm {
         Some(Self::score_subset(ctx.db, &svm.model, ids))
     }
 
-    fn score_ids_warm(
+    fn fit_warm(
         &self,
         ctx: &QueryContext<'_>,
-        ids: &[usize],
+        _pool: &[usize],
         warm: &mut WarmState,
-    ) -> Option<Vec<f64>> {
+    ) -> Option<ScorerRef> {
         let svm = self.train_content_svm_warm(ctx, warm.content.as_deref());
         let mut diag = RoundDiagnostics::all_converged();
         diag.absorb(&svm.stats);
         warm.content = Some(svm.alpha.clone());
         warm.last = Some(diag);
-        Some(Self::score_subset(ctx.db, &svm.model, ids))
+        Some(std::sync::Arc::new(ContentScorer { model: svm.model }))
+    }
+}
+
+/// [`PoolScorer`] for the content-only scheme: one trained content model,
+/// scored per id over borrowed database rows. The model owns its support
+/// vectors, so the scorer is `'static` and shard-shippable.
+pub(crate) struct ContentScorer {
+    pub(crate) model: SvmModel<[f64], RbfKernel>,
+}
+
+impl PoolScorer for ContentScorer {
+    fn score_ids(
+        &self,
+        db: &lrf_cbir::ImageDatabase,
+        _log: &lrf_logdb::LogStore,
+        ids: &[usize],
+    ) -> Vec<f64> {
+        RfSvm::score_subset(db, &self.model, ids)
     }
 }
 

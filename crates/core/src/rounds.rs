@@ -24,10 +24,10 @@
 
 use crate::config::LrfConfig;
 use crate::euclidean::EuclideanScheme;
-use crate::feedback::{QueryContext, RelevanceFeedback, RoundDiagnostics, WarmState};
+use crate::feedback::{QueryContext, RelevanceFeedback, RoundDiagnostics, ScorerRef, WarmState};
 use crate::lrf_2svms::Lrf2Svms;
 use crate::lrf_csvm::LrfCsvm;
-use crate::pooled::rank_candidates_warm;
+use crate::pooled::{rank_candidates_warm, rank_pool_by_scores};
 use crate::rf_svm::RfSvm;
 use lrf_cbir::{FeedbackExample, ImageDatabase};
 use lrf_logdb::{LogSession, LogStore, Relevance};
@@ -224,6 +224,53 @@ impl FeedbackLoop {
             example: &example,
         };
         let ranking = rank_candidates_warm(self.scheme.as_ref(), &ctx, pool, &mut self.warm);
+        self.rounds += 1;
+        ranking
+    }
+
+    /// [`rerank`](Self::rerank) with the *scoring* step delegated to the
+    /// caller — the coordinator half of a scatter-gather serving plane.
+    /// The scheme still trains exactly once, here, on the coordinator
+    /// (via [`RelevanceFeedback::fit_warm`]); `scatter` receives the
+    /// trained [`crate::feedback::PoolScorer`] plus the pool and returns
+    /// decision scores
+    /// aligned with the pool, typically by slicing the pool across shard
+    /// workers and stitching their score vectors back in pool order. The
+    /// scorer's partition-invariance contract makes that stitched vector
+    /// bit-identical to scoring the pool in one call, so this method and
+    /// [`rerank`](Self::rerank) produce the same ranking by construction
+    /// (and the sharded service asserts it end to end).
+    ///
+    /// Schemes with no trainable decision function (Euclidean) never call
+    /// `scatter` and fall back to the ordinary local path.
+    ///
+    /// # Panics
+    /// Same contract as [`rerank`](Self::rerank), plus: panics if
+    /// `scatter` returns a score vector not aligned with `pool`.
+    pub fn rerank_scattered<F>(
+        &mut self,
+        db: &ImageDatabase,
+        log: &LogStore,
+        pool: &[usize],
+        scatter: F,
+    ) -> Vec<usize>
+    where
+        F: FnOnce(&ScorerRef, &[usize]) -> Vec<f64>,
+    {
+        assert_eq!(db.len(), self.n_images, "database changed under session");
+        let example = self.example();
+        let ctx = QueryContext {
+            db,
+            log,
+            example: &example,
+        };
+        let ranking = match self.scheme.fit_warm(&ctx, pool, &mut self.warm) {
+            Some(scorer) => {
+                let scores = scatter(&scorer, pool);
+                rank_pool_by_scores(db.len(), pool, &scores)
+            }
+            None => rank_candidates_warm(self.scheme.as_ref(), &ctx, pool, &mut self.warm),
+        };
         self.rounds += 1;
         ranking
     }

@@ -199,6 +199,121 @@ impl AnnIndex for FlatIndex {
     }
 }
 
+/// One contiguous id-range slice of a flat index — the per-worker unit of
+/// a sharded scatter-gather serving plane. Shards share the **same**
+/// `Arc`'d matrix as the unsharded [`FlatIndex`] (no rows are copied) and
+/// emit **global** ids, so a coordinator can merge shard results and ids
+/// remain database ids throughout.
+///
+/// Results are exposed as *squared* distances ([`FlatShard::search_d2`]):
+/// the coordinator must merge on `(d², id)` and take square roots only
+/// after the merge, because distinct `d²` values can round to equal
+/// `sqrt`s and silently reorder ties relative to the single-index scan
+/// (which merges its own parallel partials on `d²` for the same reason).
+#[derive(Clone, Debug)]
+pub struct FlatShard {
+    data: Arc<Vec<f64>>,
+    dim: usize,
+    start: usize,
+    end: usize,
+}
+
+impl FlatShard {
+    /// A shard over global ids `[start, end)` of a shared row-major
+    /// matrix, without copying any rows.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0`, the matrix is ragged, or the range is empty
+    /// or out of bounds.
+    pub fn from_shared(data: Arc<Vec<f64>>, dim: usize, start: usize, end: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert_eq!(data.len() % dim, 0, "data length must be a multiple of dim");
+        let n = data.len() / dim;
+        assert!(
+            start < end && end <= n,
+            "invalid shard range {start}..{end} over {n}"
+        );
+        Self {
+            data,
+            dim,
+            start,
+            end,
+        }
+    }
+
+    /// Splits `n = data.len() / dim` vectors into `n_shards` contiguous,
+    /// near-equal ranges covering every id exactly once. Shard count is
+    /// clamped to `n` so no shard is ever empty.
+    pub fn split_shared(data: Arc<Vec<f64>>, dim: usize, n_shards: usize) -> Vec<Self> {
+        assert!(n_shards > 0, "shard count must be positive");
+        assert!(dim > 0, "dimension must be positive");
+        assert_eq!(data.len() % dim, 0, "data length must be a multiple of dim");
+        let n = data.len() / dim;
+        let n_shards = n_shards.min(n).max(1);
+        let chunk = n.div_ceil(n_shards);
+        (0..n)
+            .step_by(chunk)
+            .map(|start| Self::from_shared(Arc::clone(&data), dim, start, (start + chunk).min(n)))
+            .collect()
+    }
+
+    /// First global id covered by this shard (inclusive).
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// One-past-last global id covered by this shard.
+    pub fn end(&self) -> usize {
+        self.end
+    }
+
+    /// Number of vectors in the shard.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// `true` when the shard covers no vectors (unreachable via the
+    /// constructors, which reject empty ranges).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Whether `id` (global) falls in this shard's range.
+    pub fn contains(&self, id: usize) -> bool {
+        (self.start..self.end).contains(&id)
+    }
+
+    /// The shard's `k` nearest vectors to `query` as ascending
+    /// `(global id, d²)` pairs, plus the scan's work counters — the
+    /// scatter half of a sharded search. Exactly the serial bounded-heap
+    /// scan [`FlatIndex`] runs, restricted to the shard's range.
+    ///
+    /// # Panics
+    /// Panics if `query.len() != self.dim()`.
+    pub fn search_d2(&self, query: &[f64], k: usize) -> (Vec<(usize, f64)>, SearchStats) {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        let stats = SearchStats {
+            distance_evals: self.len(),
+            candidates: self.len(),
+            buckets_probed: 1,
+        };
+        let mut top = TopK::new(k.min(self.len()));
+        let dim = self.dim;
+        for (offset, row) in self.data[self.start * dim..self.end * dim]
+            .chunks_exact(dim)
+            .enumerate()
+        {
+            top.push(self.start + offset, d2(query, row));
+        }
+        (top.into_sorted_d2(), stats)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -333,5 +448,39 @@ mod tests {
     #[should_panic(expected = "multiple of dim")]
     fn ragged_data_rejected() {
         let _ = FlatIndex::build(&[0.0, 0.0, 0.0], 2);
+    }
+
+    #[test]
+    fn shards_cover_every_id_exactly_once() {
+        let data = Arc::new(random_matrix(23, 3, 5));
+        for n_shards in [1, 2, 5, 23, 100] {
+            let shards = FlatShard::split_shared(Arc::clone(&data), 3, n_shards);
+            assert!(shards.len() <= n_shards);
+            let mut covered = Vec::new();
+            for s in &shards {
+                assert!(!s.is_empty());
+                assert!(Arc::ptr_eq(&data, &s.data), "shards must not copy rows");
+                covered.extend(s.start()..s.end());
+            }
+            assert_eq!(covered, (0..23).collect::<Vec<_>>(), "n_shards={n_shards}");
+        }
+    }
+
+    #[test]
+    fn shard_scan_equals_restricted_full_scan() {
+        let dim = 4;
+        let data = Arc::new(random_matrix(60, dim, 8));
+        let query = random_matrix(1, dim, 99);
+        let shard = FlatShard::from_shared(Arc::clone(&data), dim, 20, 45);
+        let (got, stats) = shard.search_d2(&query, 10);
+        assert_eq!(stats.distance_evals, 25);
+        // Reference: brute force over rows 20..45 with global ids.
+        let mut want: Vec<(usize, f64)> = (20..45)
+            .map(|id| (id, d2(&query, &data[id * dim..(id + 1) * dim])))
+            .collect();
+        want.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        want.truncate(10);
+        assert_eq!(got, want);
+        assert!(shard.contains(20) && shard.contains(44) && !shard.contains(45));
     }
 }

@@ -37,10 +37,12 @@ use serde::{Deserialize, Serialize};
 pub mod flat;
 pub mod ivf;
 pub mod lsh;
+pub mod merge;
 
-pub use flat::{exact_top_k, FlatIndex};
+pub use flat::{exact_top_k, FlatIndex, FlatShard};
 pub use ivf::{IvfConfig, IvfIndex};
 pub use lsh::{LshConfig, LshIndex};
+pub use merge::{merge_top_k, merge_top_k_d2};
 
 /// One search hit: `(image id, Euclidean distance)`.
 pub type Neighbor = (usize, f64);

@@ -130,6 +130,25 @@ impl Gauge {
         self.value.store(v, Ordering::Relaxed);
     }
 
+    /// Increments the gauge (e.g. a job entering a queue).
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decrements the gauge, saturating at zero — a decrement racing a
+    /// reset must not wrap a depth gauge to 2⁶⁴.
+    pub fn dec(&self) {
+        let mut cur = self.value.load(Ordering::Relaxed);
+        while let Err(seen) = self.value.compare_exchange(
+            cur,
+            cur.saturating_sub(1),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            cur = seen;
+        }
+    }
+
     /// The current value.
     pub fn get(&self) -> u64 {
         self.value.load(Ordering::Relaxed)
@@ -344,6 +363,20 @@ impl HistogramSnapshot {
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    #[test]
+    fn gauge_inc_dec_saturates_at_zero() {
+        let g = Gauge::new();
+        g.dec();
+        assert_eq!(g.get(), 0, "decrementing an empty gauge must not wrap");
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.set(7);
+        g.dec();
+        assert_eq!(g.get(), 6);
+    }
 
     #[test]
     fn bucket_index_is_monotone_and_bounds_invert_it() {

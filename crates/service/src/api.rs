@@ -61,6 +61,10 @@ pub enum Request {
     /// Full observability snapshot: every registered counter, gauge and
     /// per-stage latency histogram (see [`crate::metrics::names`]).
     Metrics,
+    /// Health/readiness probe for load balancers: answered with
+    /// [`Response::Pong`] carrying the protocol version, touching no
+    /// session or storage state.
+    Ping,
 }
 
 /// The service's answer to one [`Request`].
@@ -148,6 +152,14 @@ pub enum Response {
         /// Every registered instrument, frozen.
         snapshot: RegistrySnapshot,
     },
+    /// The service is alive and ready (see [`Request::Ping`]).
+    Pong {
+        /// The wire-protocol version this service speaks
+        /// ([`crate::wire::PROTO_VERSION`]) — lets a rolling-upgrade load
+        /// balancer discover each backend's protocol without a probe
+        /// request that could fail for unrelated reasons.
+        proto_version: u32,
+    },
     /// The request failed; the session (if any) is otherwise unaffected.
     Error {
         /// What went wrong.
@@ -214,6 +226,54 @@ pub enum ServiceError {
         /// The underlying storage failure.
         reason: String,
     },
+    /// The request frame declared a wire-protocol version this service
+    /// does not speak (see [`crate::wire::PROTO_VERSION`]).
+    UnsupportedVersion {
+        /// The version the client asked for.
+        requested: u32,
+        /// The version this service speaks.
+        supported: u32,
+    },
+}
+
+impl ServiceError {
+    /// The stable machine-readable code for this error — the string
+    /// clients switch on. Codes are part of the wire contract: they never
+    /// change once shipped (unlike `Display` text, which is for humans and
+    /// may be reworded), and every code maps to one HTTP status
+    /// ([`Self::http_status`]). The full table lives in the README's
+    /// "Networked serving" section.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServiceError::UnknownSession { .. } => "unknown_session",
+            ServiceError::SessionExpired { .. } => "session_expired",
+            ServiceError::UnknownQuery { .. } => "unknown_query",
+            ServiceError::UnknownImage { .. } => "unknown_image",
+            ServiceError::DuplicateJudgment { .. } => "duplicate_judgment",
+            ServiceError::BadRequest { .. } => "bad_request",
+            ServiceError::Overloaded { .. } => "overloaded",
+            ServiceError::Degraded { .. } => "degraded",
+            ServiceError::UnsupportedVersion { .. } => "unsupported_version",
+        }
+    }
+
+    /// The HTTP status the transport maps this error to. Chosen so stock
+    /// client policy does the right thing: 404/410/409/400 are terminal
+    /// (don't retry the same request), 503 is retryable after backoff
+    /// (storage outage or load shedding).
+    pub fn http_status(&self) -> u16 {
+        match self {
+            ServiceError::UnknownSession { .. } => 404,
+            ServiceError::SessionExpired { .. } => 410,
+            ServiceError::UnknownQuery { .. } => 404,
+            ServiceError::UnknownImage { .. } => 404,
+            ServiceError::DuplicateJudgment { .. } => 409,
+            ServiceError::BadRequest { .. } => 400,
+            ServiceError::Overloaded { .. } => 503,
+            ServiceError::Degraded { .. } => 503,
+            ServiceError::UnsupportedVersion { .. } => 400,
+        }
+    }
 }
 
 impl From<RoundError> for ServiceError {
@@ -251,6 +311,15 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Degraded { reason } => {
                 write!(f, "storage degraded: {reason}")
             }
+            ServiceError::UnsupportedVersion {
+                requested,
+                supported,
+            } => {
+                write!(
+                    f,
+                    "unsupported protocol version {requested} (this service speaks {supported})"
+                )
+            }
         }
     }
 }
@@ -283,6 +352,7 @@ mod tests {
             Request::SyncLog,
             Request::Stats,
             Request::Metrics,
+            Request::Ping,
         ];
         for req in reqs {
             let json = serde_json::to_string(&req).unwrap();
@@ -320,6 +390,11 @@ mod tests {
             Response::err(ServiceError::Degraded {
                 reason: "injected fault: fsync error".into(),
             }),
+            Response::err(ServiceError::UnsupportedVersion {
+                requested: 9,
+                supported: 1,
+            }),
+            Response::Pong { proto_version: 1 },
             Response::Reranked {
                 session: 3,
                 round: 2,
@@ -369,5 +444,81 @@ mod tests {
             reason: "fsync error".into(),
         };
         assert!(e.to_string().contains("storage degraded"));
+        let e = ServiceError::UnsupportedVersion {
+            requested: 9,
+            supported: 1,
+        };
+        assert!(e.to_string().contains("unsupported protocol version 9"));
+    }
+
+    #[test]
+    fn error_codes_are_stable_and_status_mapped() {
+        // The wire contract: one stable code + one HTTP status per variant.
+        // Changing any existing pair is a protocol break — this test is the
+        // tripwire.
+        let table: Vec<(ServiceError, &str, u16)> = vec![
+            (
+                ServiceError::UnknownSession { session: 1 },
+                "unknown_session",
+                404,
+            ),
+            (
+                ServiceError::SessionExpired { session: 1 },
+                "session_expired",
+                410,
+            ),
+            (
+                ServiceError::UnknownQuery {
+                    query: 1,
+                    n_images: 2,
+                },
+                "unknown_query",
+                404,
+            ),
+            (
+                ServiceError::UnknownImage {
+                    image: 1,
+                    n_images: 2,
+                },
+                "unknown_image",
+                404,
+            ),
+            (
+                ServiceError::DuplicateJudgment { image: 1 },
+                "duplicate_judgment",
+                409,
+            ),
+            (
+                ServiceError::BadRequest { reason: "x".into() },
+                "bad_request",
+                400,
+            ),
+            (
+                ServiceError::Overloaded {
+                    spilled_sessions: 1,
+                },
+                "overloaded",
+                503,
+            ),
+            (
+                ServiceError::Degraded { reason: "x".into() },
+                "degraded",
+                503,
+            ),
+            (
+                ServiceError::UnsupportedVersion {
+                    requested: 2,
+                    supported: 1,
+                },
+                "unsupported_version",
+                400,
+            ),
+        ];
+        let mut codes = std::collections::HashSet::new();
+        for (err, code, status) in table {
+            assert_eq!(err.code(), code);
+            assert_eq!(err.http_status(), status);
+            assert!(codes.insert(code), "duplicate error code {code}");
+        }
     }
 }

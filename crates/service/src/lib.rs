@@ -68,11 +68,17 @@ pub mod durability;
 pub mod flush;
 pub mod manager;
 pub mod metrics;
+pub mod net;
 pub mod service;
+pub mod shard;
+pub mod wire;
 
 pub use api::{Request, Response, ServiceError};
 pub use durability::DurabilityConfig;
 pub use flush::Flushable;
 pub use manager::{EvictReason, Evicted, SessionGone, SessionManager};
 pub use metrics::ServiceMetrics;
+pub use net::{NetConfig, NetServer};
 pub use service::{Service, ServiceConfig};
+pub use shard::ShardedEngine;
+pub use wire::{FrameMode, ParsedRequest, WireError, PROTO_VERSION};

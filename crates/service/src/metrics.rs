@@ -93,6 +93,28 @@ pub mod names {
     pub const RECOVERY_REREAD_RECOVERIES: &str = "recovery_reread_recoveries_total";
     /// Stale files (older epochs, leftover temp files) swept at startup.
     pub const RECOVERY_STALE_FILES: &str = "recovery_stale_files_removed_total";
+    /// Jobs submitted to shard workers but not yet completed (scatter
+    /// fan-out depth across all shards).
+    pub const SHARD_QUEUE_DEPTH: &str = "shard_queue_depth";
+    /// Jobs dispatched to shard workers (searches + scatter scorings).
+    pub const SHARD_JOBS: &str = "shard_jobs_total";
+    /// TCP connections the network listener accepted.
+    pub const NET_CONNECTIONS: &str = "net_connections_total";
+    /// HTTP requests the network listener served (any route, any status).
+    pub const NET_REQUESTS: &str = "net_requests_total";
+    /// HTTP requests rejected before dispatch (malformed head, unknown
+    /// route, oversized body).
+    pub const NET_BAD_REQUESTS: &str = "net_bad_requests_total";
+
+    /// Per-shard search-stage latency histogram name (`shard{i}_search_ns`).
+    pub fn shard_search_ns(shard: usize) -> String {
+        format!("shard{shard}_search_ns")
+    }
+
+    /// Per-shard scoring-stage latency histogram name (`shard{i}_score_ns`).
+    pub fn shard_score_ns(shard: usize) -> String {
+        format!("shard{shard}_score_ns")
+    }
 }
 
 /// A service instance's registry plus the handles its hot path records
@@ -243,6 +265,14 @@ impl ServiceMetrics {
     /// The injected clock.
     pub fn clock(&self) -> &dyn Clock {
         &*self.clock
+    }
+
+    /// A shareable handle to the injected clock, for components that time
+    /// work on their own threads (shard workers) — `None` when untimed,
+    /// so those components skip their stage timers exactly like the
+    /// request path does.
+    pub fn clock_ref(&self) -> Option<ClockRef> {
+        self.timed.then(|| ClockRef::clone(&self.clock))
     }
 
     /// Starts a stage timer over `histogram`, or `None` when untimed

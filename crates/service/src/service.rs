@@ -36,6 +36,8 @@ use crate::durability::{Durability, DurabilityConfig};
 use crate::flush::Flushable;
 use crate::manager::{Evicted, SessionGone, SessionManager};
 use crate::metrics::{names, ServiceMetrics};
+use crate::shard::ShardedEngine;
+use crate::wire;
 use lrf_cbir::{build_flat_index, rank_with_index_stats, ImageDatabase};
 use lrf_core::{FeedbackLoop, LrfConfig, PooledRetrieval, QueryContext, SchemeKind};
 use lrf_index::AnnIndex;
@@ -103,6 +105,37 @@ pub struct Service {
     /// Present on WAL-backed services; `None` means flushes are
     /// in-memory only (the pre-durability behaviour).
     durability: Option<Durability>,
+    /// Present on sharded services: the same engine `index` wraps, held
+    /// typed so the rerank path can scatter pool scoring across the
+    /// shard workers.
+    sharded: Option<Arc<ShardedEngine>>,
+}
+
+/// [`ShardedEngine`] behind the service's `Box<dyn AnnIndex>` slot while
+/// the service also holds the typed `Arc` (the orphan rule forbids
+/// implementing the foreign-ish trait for `Arc<ShardedEngine>` directly).
+struct EngineHandle(Arc<ShardedEngine>);
+
+impl AnnIndex for EngineHandle {
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.0.dim()
+    }
+
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+
+    fn search_with_stats(
+        &self,
+        query: &[f64],
+        k: usize,
+    ) -> (Vec<lrf_index::Neighbor>, lrf_index::SearchStats) {
+        self.0.search_with_stats(query, k)
+    }
 }
 
 impl Service {
@@ -138,12 +171,58 @@ impl Service {
         metrics: ServiceMetrics,
     ) -> Self {
         Self::build(
+            Arc::new(db),
+            index,
+            DurableLogStore::volatile(log),
+            config,
+            metrics,
+            None,
+            None,
+        )
+    }
+
+    /// Builds a sharded service: the database is split into `n_shards`
+    /// contiguous-id flat shards (views over the one shared feature
+    /// matrix — no rows are copied), each pinned to a worker thread. The
+    /// initial screen scatter-gathers the ANN search across the shards
+    /// and every rerank scatters its pool scoring the same way; both are
+    /// bit-identical to the single-shard flat service by construction
+    /// (merge on squared distances, partition-invariant scorers).
+    pub fn sharded(
+        db: ImageDatabase,
+        log: LogStore,
+        n_shards: usize,
+        config: ServiceConfig,
+    ) -> Self {
+        Self::sharded_with_metrics(db, log, n_shards, config, ServiceMetrics::new())
+    }
+
+    /// [`sharded`](Self::sharded) with explicit observability. Per-shard
+    /// stage histograms and the queue-depth gauge register in the same
+    /// registry the request path records to.
+    pub fn sharded_with_metrics(
+        db: ImageDatabase,
+        log: LogStore,
+        n_shards: usize,
+        config: ServiceConfig,
+        metrics: ServiceMetrics,
+    ) -> Self {
+        let db = Arc::new(db);
+        let engine = Arc::new(ShardedEngine::new(
+            Arc::clone(&db),
+            n_shards,
+            metrics.registry(),
+            metrics.clock_ref(),
+        ));
+        let index: Box<dyn AnnIndex> = Box::new(EngineHandle(Arc::clone(&engine)));
+        Self::build(
             db,
             index,
             DurableLogStore::volatile(log),
             config,
             metrics,
             None,
+            Some(engine),
         )
     }
 
@@ -195,23 +274,26 @@ impl Service {
         let (log, recovery) = DurableLogStore::open_with_seed(io, dir, seed, opts)?;
         metrics.count_recovery(&recovery);
         let svc = Self::build(
-            db,
+            Arc::new(db),
             index,
             log,
             config,
             metrics,
             Some(Durability::new(policy)),
+            None,
         );
         Ok((svc, recovery))
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn build(
-        db: ImageDatabase,
+        db: Arc<ImageDatabase>,
         index: Box<dyn AnnIndex>,
         log: DurableLogStore,
         config: ServiceConfig,
         metrics: ServiceMetrics,
         durability: Option<Durability>,
+        sharded: Option<Arc<ShardedEngine>>,
     ) -> Self {
         assert_eq!(index.len(), db.len(), "index does not cover the database");
         assert_eq!(
@@ -238,13 +320,14 @@ impl Service {
             .registry()
             .adopt_counter(names::LOG_COW_CLONES, log_counters.cow_clones);
         Self {
-            db: Arc::new(db),
+            db,
             index,
             log,
             sessions,
             metrics,
             config,
             durability,
+            sharded,
         }
     }
 
@@ -325,22 +408,30 @@ impl Service {
             Request::Metrics => Response::Metrics {
                 snapshot: self.metrics.snapshot(),
             },
+            Request::Ping => Response::Pong {
+                proto_version: wire::PROTO_VERSION,
+            },
         }
     }
 
-    /// JSON transport: parses a [`Request`], handles it, renders the
-    /// [`Response`] — the whole surface a network listener needs.
+    /// JSON transport: parses a [`Request`] (bare legacy enum *or* the
+    /// versioned `{v, id, body}` envelope — see [`crate::wire`]), handles
+    /// it, renders the [`Response`] in the framing the request used.
+    /// Legacy requests get byte-identical output to what this method has
+    /// always produced.
     pub fn handle_json(&self, request_json: &str) -> String {
-        let response = match serde_json::from_str::<Request>(request_json) {
-            Ok(request) => self.handle(request),
-            Err(e) => Response::err(ServiceError::BadRequest {
-                reason: e.to_string(),
-            }),
+        self.handle_wire(request_json).0
+    }
+
+    /// [`handle_json`](Self::handle_json) plus the HTTP status the
+    /// response maps to — the whole surface a network transport needs.
+    pub fn handle_wire(&self, request_json: &str) -> (String, u16) {
+        let (mode, response) = match wire::parse_request(request_json) {
+            Ok(parsed) => (parsed.mode, self.handle(parsed.body)),
+            Err(err) => (err.mode, Response::err(err.error)),
         };
-        // lrf-lint: allow(service-panic): Response serialization is
-        // infallible by construction (no maps with non-string keys, no
-        // non-finite floats), covered by api.rs round-trip tests
-        serde_json::to_string(&response).expect("responses always serialize")
+        let status = wire::http_status(&response);
+        (wire::render_response(mode, &response), status)
     }
 
     fn open(&self, query: usize, scheme: SchemeKind) -> Response {
@@ -429,7 +520,20 @@ impl Service {
         };
         {
             let _retrain = self.metrics.time(&self.metrics.stage_retrain);
-            state.ranking = state.fb.rerank(&self.db, &snapshot, &pool);
+            state.ranking = match &self.sharded {
+                // Sharded plane: train once here, scatter the pool
+                // scoring across the shard workers. Bit-identical to the
+                // local path by the scorer's partition-invariance
+                // contract (asserted end-to-end in tests/net_service.rs).
+                Some(engine) => {
+                    state
+                        .fb
+                        .rerank_scattered(&self.db, &snapshot, &pool, |scorer, ids| {
+                            engine.scatter_scores(scorer, &snapshot, ids)
+                        })
+                }
+                None => state.fb.rerank(&self.db, &snapshot, &pool),
+            };
         }
         let page = state.ranking[..self.config.screen_size.min(state.ranking.len())].to_vec();
         // Surface solver health: a max_iter-capped round must not pass as

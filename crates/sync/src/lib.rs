@@ -58,6 +58,15 @@ pub mod thread {
 // std's poison machinery).
 pub use std::sync::{LockResult, PoisonError, TryLockError, TryLockResult};
 
+/// Channels, from std in both backends. The vendored checker has no
+/// channel shim — its model tests cover the locks and atomics around a
+/// queue, not the queue itself — so facade-covered crates that need
+/// message passing (the sharded serving plane's worker feeds) import
+/// `lrf_sync::mpsc` and stay out of model-checked sections.
+pub mod mpsc {
+    pub use std::sync::mpsc::*;
+}
+
 /// Poison-recovering acquisition for [`Mutex`].
 pub trait MutexExt<'a, T: ?Sized> {
     /// Locks the mutex, recovering the guard if the lock is poisoned.

@@ -1,0 +1,344 @@
+//! Load generator for the networked sharded serving tier.
+//!
+//! ```sh
+//! cargo run --release --example load_gen            # full run
+//! BENCH_QUICK=1 cargo run --release --example load_gen   # CI smoke
+//! ```
+//!
+//! Boots a sharded [`NetServer`] on an ephemeral port, then drives it with
+//! concurrent TCP clients replaying the paper's feedback workload:
+//! query popularity is **Zipfian** (a few hot queries dominate, the long
+//! tail keeps every shard warm) and session lengths are mixed (1–3
+//! feedback rounds, like real users who give up early or iterate). Every
+//! request is timed end-to-end — connect-to-parse — with the workspace's
+//! [`MonotonicClock`], and per-stage p50/p99 percentiles are printed in
+//! the `bench … ns/iter` line format that `tools/bench_check.sh` parses
+//! into `bench-results/BENCH_latency.json`.
+//!
+//! Ends with a graceful [`NetServer::shutdown`]: in-flight sessions drain
+//! through the durable-flush path and the example reports how much the
+//! shared log grew — the paper's log-accumulation loop, under load.
+
+use corelog::cbir::{collect_log, CorelDataset, CorelSpec};
+use corelog::core::{LrfConfig, SchemeKind};
+use corelog::logdb::SimulationConfig;
+use corelog::obs::{Clock, MonotonicClock};
+use corelog::service::{
+    NetConfig, NetServer, Request, Service, ServiceConfig, ServiceMetrics, PROTO_VERSION,
+};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+const N_SHARDS: usize = 4;
+
+fn quick() -> bool {
+    std::env::var_os("BENCH_QUICK").is_some()
+}
+
+/// xorshift64* — deterministic per-client randomness, no external deps.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 >> 12;
+        self.0 ^= self.0 << 25;
+        self.0 ^= self.0 >> 27;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn uniform(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Zipf(s = 1.05) over `n` ranks via inverse-CDF table lookup: rank 0 is
+/// the hottest query, the tail is long but never cold.
+struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize) -> Self {
+        let weights: Vec<f64> = (1..=n).map(|rank| 1.0 / (rank as f64).powf(1.05)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cdf = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        Self { cdf }
+    }
+
+    fn sample(&self, rng: &mut Rng) -> usize {
+        let u = rng.uniform();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Minimal keep-alive HTTP/1.1 client speaking the versioned envelope.
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    next_id: u64,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Self {
+        let writer = TcpStream::connect(addr).expect("connect");
+        writer.set_nodelay(true).expect("nodelay");
+        let reader = BufReader::new(writer.try_clone().expect("clone stream"));
+        Self {
+            writer,
+            reader,
+            next_id: 0,
+        }
+    }
+
+    /// One envelope exchange; returns the raw response body JSON.
+    fn call(&mut self, request: &Request) -> String {
+        let id = self.next_id;
+        self.next_id += 1;
+        let body = serde_json::to_string(request).expect("serialize request");
+        let frame = format!("{{\"v\":{PROTO_VERSION},\"id\":{id},\"body\":{body}}}");
+        let message = format!(
+            "POST /api HTTP/1.1\r\nHost: load\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{frame}",
+            frame.len()
+        );
+        self.writer
+            .write_all(message.as_bytes())
+            .expect("write request");
+        self.writer.flush().expect("flush");
+
+        let mut status = String::new();
+        self.reader.read_line(&mut status).expect("status line");
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            self.reader.read_line(&mut header).expect("header");
+            let header = header.trim();
+            if header.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().expect("content-length");
+                }
+            }
+        }
+        let mut raw = vec![0u8; content_length];
+        self.reader.read_exact(&mut raw).expect("body");
+        String::from_utf8(raw).expect("utf-8")
+    }
+}
+
+/// Pulls `"field": number` out of a response body without a full decode —
+/// the load generator only needs session ids and screen contents.
+fn json_u64(body: &str, field: &str) -> Option<u64> {
+    let needle = format!("\"{field}\":");
+    let at = body.find(&needle)? + needle.len();
+    let digits: String = body[at..]
+        .trim_start()
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+fn json_id_array(body: &str, field: &str) -> Vec<usize> {
+    let needle = format!("\"{field}\":");
+    let Some(at) = body.find(&needle) else {
+        return Vec::new();
+    };
+    let rest = &body[at + needle.len()..];
+    let Some(open) = rest.find('[') else {
+        return Vec::new();
+    };
+    let Some(close) = rest.find(']') else {
+        return Vec::new();
+    };
+    rest[open + 1..close]
+        .split(',')
+        .filter_map(|t| t.trim().parse().ok())
+        .collect()
+}
+
+/// One timed request: returns (stage, nanoseconds).
+fn timed(
+    clock: &dyn Clock,
+    client: &mut Client,
+    stage: &'static str,
+    request: &Request,
+) -> (String, (&'static str, u64)) {
+    let t0 = clock.now_ns();
+    let body = client.call(request);
+    (body, (stage, clock.now_ns() - t0))
+}
+
+fn main() {
+    let (clients, sessions_per_client) = if quick() { (2, 3) } else { (4, 12) };
+    println!(
+        "load_gen: {N_SHARDS} shards, {clients} clients x {sessions_per_client} sessions{}",
+        if quick() { " (quick)" } else { "" }
+    );
+
+    let ds = CorelDataset::build(CorelSpec::tiny(5, 20, 7));
+    let log = collect_log(
+        &ds.db,
+        &SimulationConfig {
+            n_sessions: 30,
+            judged_per_session: 12,
+            rounds_per_query: 2,
+            noise: 0.1,
+            seed: 11,
+        },
+    );
+    let log_before = log.n_sessions();
+    let n_images = ds.db.len();
+    let config = ServiceConfig {
+        max_sessions: 64,
+        ttl_requests: 0,
+        screen_size: 8,
+        pool_size: 40,
+        lrf: LrfConfig {
+            n_unlabeled: 8,
+            ..LrfConfig::default()
+        },
+    };
+    let service = Service::sharded_with_metrics(
+        ds.db,
+        log,
+        N_SHARDS,
+        config,
+        ServiceMetrics::with_clock(MonotonicClock::shared()),
+    );
+    let server = NetServer::serve(
+        service,
+        NetConfig {
+            workers: clients,
+            ..NetConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.addr();
+    println!("load_gen: serving on {addr}");
+
+    let wall = MonotonicClock::new();
+    let t_start = wall.now_ns();
+    let mut handles = Vec::new();
+    for worker in 0..clients {
+        handles.push(std::thread::spawn(move || {
+            let clock = MonotonicClock::new();
+            let zipf = Zipf::new(n_images);
+            let mut rng = Rng(0x9E37_79B9_7F4A_7C15 ^ ((worker as u64 + 1) * 0x1234_5678));
+            let mut client = Client::connect(addr);
+            let mut samples: Vec<(&'static str, u64)> = Vec::new();
+            for _ in 0..sessions_per_client {
+                let query = zipf.sample(&mut rng);
+                let (body, s) = timed(
+                    &clock,
+                    &mut client,
+                    "open",
+                    &Request::Open {
+                        query,
+                        scheme: SchemeKind::LrfCsvm,
+                    },
+                );
+                samples.push(s);
+                let session = json_u64(&body, "session").expect("opened session id");
+                let mut to_judge = json_id_array(&body, "screen");
+                // Mixed session lengths: 1–3 feedback rounds.
+                let rounds = 1 + (rng.next() % 3) as usize;
+                for _ in 0..rounds {
+                    for id in to_judge.iter().take(6) {
+                        let (_, s) = timed(
+                            &clock,
+                            &mut client,
+                            "mark",
+                            &Request::Mark {
+                                session,
+                                image: *id,
+                                // Noisy judge: mostly honest about the hot
+                                // category, sometimes wrong — keeps the
+                                // retrain non-trivial without DB access.
+                                relevant: rng.uniform() < 0.7,
+                            },
+                        );
+                        samples.push(s);
+                    }
+                    let (_, s) = timed(&clock, &mut client, "rerank", &Request::Rerank { session });
+                    samples.push(s);
+                    let (body, s) = timed(
+                        &clock,
+                        &mut client,
+                        "page",
+                        &Request::Page {
+                            session,
+                            offset: 0,
+                            count: 16,
+                        },
+                    );
+                    samples.push(s);
+                    to_judge = json_id_array(&body, "ids");
+                }
+                let (_, s) = timed(&clock, &mut client, "close", &Request::Close { session });
+                samples.push(s);
+            }
+            samples
+        }));
+    }
+
+    let mut samples: Vec<(&'static str, u64)> = Vec::new();
+    for handle in handles {
+        samples.extend(handle.join().expect("client thread"));
+    }
+    let elapsed_ns = wall.now_ns() - t_start;
+    let total = samples.len();
+    println!(
+        "load_gen: {total} requests in {:.2}s ({:.0} req/s)",
+        elapsed_ns as f64 / 1e9,
+        total as f64 * 1e9 / elapsed_ns as f64
+    );
+
+    // Per-stage + end-to-end percentiles, in the harness line format.
+    let percentile = |sorted: &[u64], q: f64| -> u64 {
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        sorted[idx]
+    };
+    let mut stages: Vec<&'static str> = vec!["open", "mark", "rerank", "page", "close"];
+    stages.push("e2e");
+    for stage in stages {
+        let mut ns: Vec<u64> = samples
+            .iter()
+            .filter(|(s, _)| stage == "e2e" || *s == stage)
+            .map(|&(_, ns)| ns)
+            .collect();
+        if ns.is_empty() {
+            continue;
+        }
+        ns.sort_unstable();
+        for (q, q_label) in [(0.50, "p50"), (0.99, "p99")] {
+            println!(
+                "bench {:<40} {:>14} ns/iter",
+                format!("service_latency/load_gen/{stage}/{q_label}"),
+                percentile(&ns, q)
+            );
+        }
+    }
+
+    // Graceful shutdown: drain through the durable-flush path and report
+    // the log growth (the paper's accumulation loop).
+    let drained = server.shutdown().expect("sole owner at shutdown");
+    println!(
+        "load_gen: log grew {} -> {} sessions through the flush path",
+        log_before,
+        drained.n_sessions()
+    );
+    assert_eq!(
+        drained.n_sessions(),
+        log_before + clients * sessions_per_client,
+        "every driven session must flush into the log"
+    );
+}

@@ -1,0 +1,369 @@
+//! Networked serving tier E2E: a real TCP client drives multi-session
+//! feedback loops against the **sharded** [`NetServer`] and every ranking
+//! is asserted bit-identical to an in-process single-shard [`Service`]
+//! over the same corpus — the serving topology (shard count, transport,
+//! framing) must be invisible in the results.
+//!
+//! Also covered here: legacy bare-enum framing over TCP, envelope version
+//! rejection with HTTP status mapping, `Ping`/`Pong`, the `/metrics`
+//! Prometheus page including the per-shard stage histograms, and graceful
+//! shutdown draining an unclosed session through the durable-flush path.
+
+use corelog::cbir::{collect_log, CorelDataset, CorelSpec, ImageDatabase};
+use corelog::core::{LrfConfig, SchemeKind};
+use corelog::logdb::{LogStore, SimulationConfig};
+use corelog::service::{
+    NetConfig, NetServer, Request, Response, Service, ServiceConfig, PROTO_VERSION,
+};
+use serde_json::Value;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+const N_SHARDS: usize = 3;
+
+fn corpus() -> (ImageDatabase, LogStore) {
+    let ds = CorelDataset::build(CorelSpec::tiny(4, 12, 19));
+    let log = collect_log(
+        &ds.db,
+        &SimulationConfig {
+            n_sessions: 24,
+            judged_per_session: 10,
+            rounds_per_query: 2,
+            noise: 0.1,
+            seed: 23,
+        },
+    );
+    (ds.db, log)
+}
+
+fn config() -> ServiceConfig {
+    ServiceConfig {
+        max_sessions: 32,
+        ttl_requests: 0,
+        screen_size: 8,
+        pool_size: 30,
+        lrf: LrfConfig {
+            n_unlabeled: 8,
+            ..LrfConfig::default()
+        },
+    }
+}
+
+fn sharded_server() -> NetServer {
+    let (db, log) = corpus();
+    let service = Service::sharded(db, log, N_SHARDS, config());
+    NetServer::serve(
+        service,
+        NetConfig {
+            workers: 2,
+            ..NetConfig::default()
+        },
+    )
+    .expect("bind ephemeral port")
+}
+
+/// A keep-alive HTTP/1.1 client over one real TCP connection.
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    next_id: u64,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Self {
+        let writer = TcpStream::connect(addr).expect("connect to server");
+        writer.set_nodelay(true).expect("nodelay");
+        let reader = BufReader::new(writer.try_clone().expect("clone stream"));
+        Self {
+            writer,
+            reader,
+            next_id: 0,
+        }
+    }
+
+    /// One HTTP request/response exchange; returns `(status, body)`.
+    fn http(&mut self, method: &str, path: &str, body: &str) -> (u16, String) {
+        let message = format!(
+            "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.writer
+            .write_all(message.as_bytes())
+            .expect("write request");
+        self.writer.flush().expect("flush request");
+
+        let mut status_line = String::new();
+        self.reader
+            .read_line(&mut status_line)
+            .expect("read status line");
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .expect("status code present")
+            .parse()
+            .expect("numeric status");
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            self.reader.read_line(&mut header).expect("read header");
+            let header = header.trim();
+            if header.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().expect("numeric content-length");
+                }
+            }
+        }
+        let mut raw = vec![0u8; content_length];
+        self.reader.read_exact(&mut raw).expect("read body");
+        (status, String::from_utf8(raw).expect("utf-8 body"))
+    }
+
+    /// Sends `request` in a versioned envelope and returns
+    /// `(status, frame code, decoded body)` after checking the echoed
+    /// correlation id.
+    fn api(&mut self, request: &Request) -> (u16, String, Response) {
+        let id = self.next_id;
+        self.next_id += 1;
+        let body = serde_json::to_string(request).expect("serialize request");
+        let frame = format!("{{\"v\":{PROTO_VERSION},\"id\":{id},\"body\":{body}}}");
+        let (status, reply) = self.http("POST", "/api", &frame);
+        let value: Value = serde_json::from_str(&reply).expect("JSON reply");
+        assert_eq!(
+            value.get("id").and_then(Value::as_u64),
+            Some(id),
+            "correlation id must echo back"
+        );
+        let code = match value.get("code") {
+            Some(Value::Str(code)) => code.clone(),
+            other => panic!("frame without a code field: {other:?}"),
+        };
+        let body =
+            serde_json::to_string(value.get("body").expect("frame body")).expect("re-encode");
+        let response: Response = serde_json::from_str(&body).expect("decode response body");
+        (status, code, response)
+    }
+
+    /// Envelope request that must succeed with `code == "ok"`.
+    fn ok(&mut self, request: &Request) -> Response {
+        let (status, code, response) = self.api(request);
+        assert_eq!((status, code.as_str()), (200, "ok"), "request {request:?}");
+        response
+    }
+}
+
+/// One feedback step against either transport: the test driver below runs
+/// the reference service in-process and the sharded service over TCP and
+/// compares rankings after every rerank.
+fn open(handle: &mut dyn FnMut(Request) -> Response, query: usize) -> (u64, Vec<usize>) {
+    match handle(Request::Open {
+        query,
+        scheme: SchemeKind::LrfCsvm,
+    }) {
+        Response::Opened { session, screen } => (session, screen),
+        other => panic!("open failed: {other:?}"),
+    }
+}
+
+fn feedback_round(
+    handle: &mut dyn FnMut(Request) -> Response,
+    db: &ImageDatabase,
+    session: u64,
+    query: usize,
+    to_judge: &[usize],
+) -> Vec<usize> {
+    for &id in to_judge {
+        // Later rounds re-page over judged images; the duplicate-judgment
+        // rejection is typed and deliberately ignored here.
+        let _ = handle(Request::Mark {
+            session,
+            image: id,
+            relevant: db.same_category(id, query),
+        });
+    }
+    match handle(Request::Rerank { session }) {
+        Response::Reranked { .. } => {}
+        other => panic!("rerank failed: {other:?}"),
+    }
+    match handle(Request::Page {
+        session,
+        offset: 0,
+        count: usize::MAX,
+    }) {
+        Response::Page { ids, .. } => ids,
+        other => panic!("page failed: {other:?}"),
+    }
+}
+
+/// The tentpole assertion: interleaved multi-session feedback loops driven
+/// over real TCP against the 3-shard server produce rankings bit-identical
+/// to the in-process single-shard reference, round after round, and both
+/// deployments flush the same number of sessions into the log.
+#[test]
+fn sharded_tcp_rankings_bit_identical_to_in_process_flat_reference() {
+    let (db, log) = corpus();
+    let reference = Service::new(db, log, config());
+    let server = sharded_server();
+    let mut client = Client::connect(server.addr());
+
+    let queries = [3usize, 17, 30];
+    let mut via_ref = |req: Request| reference.handle(req);
+    let mut opened_ref = Vec::new();
+    let mut opened_net = Vec::new();
+    // Interleaved opens: all sessions coexist on both deployments.
+    for &q in &queries {
+        opened_ref.push(open(&mut via_ref, q));
+        let mut via_net = |req: Request| client.ok(&req);
+        opened_net.push(open(&mut via_net, q));
+    }
+    for (a, b) in opened_ref.iter().zip(&opened_net) {
+        assert_eq!(a.1, b.1, "initial screens must match");
+    }
+
+    // Two feedback rounds per session, interleaved across sessions.
+    let mut judge_ref: Vec<Vec<usize>> = opened_ref.iter().map(|o| o.1.clone()).collect();
+    let mut judge_net = judge_ref.clone();
+    for round in 0..2usize {
+        for (i, &q) in queries.iter().enumerate() {
+            let ranking_ref = feedback_round(
+                &mut via_ref,
+                reference.db(),
+                opened_ref[i].0,
+                q,
+                &judge_ref[i],
+            );
+            // `api`, not `ok`: duplicate re-judgments answer a typed 409
+            // that the round helper deliberately ignores on both sides.
+            let mut via_net = |req: Request| client.api(&req).2;
+            let ranking_net = feedback_round(
+                &mut via_net,
+                reference.db(),
+                opened_net[i].0,
+                q,
+                &judge_net[i],
+            );
+            assert_eq!(
+                ranking_ref, ranking_net,
+                "round {round}, query {q}: sharded TCP ranking diverged"
+            );
+            // Next round judges the refined head the paper's loop would.
+            judge_ref[i] = ranking_ref[..8].to_vec();
+            judge_net[i] = ranking_net[..8].to_vec();
+        }
+    }
+
+    // Close two of three sessions on each side; the third stays open to
+    // exercise the shutdown drain path.
+    for i in 0..2 {
+        match via_ref(Request::Close {
+            session: opened_ref[i].0,
+        }) {
+            Response::Closed { .. } => {}
+            other => panic!("reference close failed: {other:?}"),
+        }
+        let session = opened_net[i].0;
+        match client.ok(&Request::Close { session }) {
+            Response::Closed { .. } => {}
+            other => panic!("net close failed: {other:?}"),
+        }
+    }
+
+    // Graceful shutdown drains the still-open session through the
+    // durable-flush path: both logs grew by all three sessions.
+    let log_ref = reference.into_log();
+    let log_net = server.shutdown().expect("sole owner after shutdown");
+    assert_eq!(log_ref.n_sessions(), 24 + 3);
+    assert_eq!(log_net.n_sessions(), 24 + 3);
+}
+
+/// Legacy bare-enum JSON keeps working over TCP, envelope version
+/// mismatches map to a typed 400, and unknown routes are 404s.
+#[test]
+fn wire_framing_and_status_mapping_over_tcp() {
+    let server = sharded_server();
+    let mut client = Client::connect(server.addr());
+
+    // Legacy framing: bare request enum in, bare response enum out.
+    let (status, body) = client.http("POST", "/api", "\"Ping\"");
+    assert_eq!(status, 200);
+    let response: Response = serde_json::from_str(&body).expect("bare response enum");
+    assert_eq!(
+        response,
+        Response::Pong {
+            proto_version: PROTO_VERSION
+        }
+    );
+
+    // Envelope framing: Ping reports the protocol version.
+    let response = client.ok(&Request::Ping);
+    assert_eq!(
+        response,
+        Response::Pong {
+            proto_version: PROTO_VERSION
+        }
+    );
+
+    // A future protocol version is rejected, typed, with this client's id.
+    let (status, body) = client.http("POST", "/api", "{\"v\":9,\"id\":5,\"body\":\"Ping\"}");
+    assert_eq!(status, 400);
+    let value: Value = serde_json::from_str(&body).expect("error frame");
+    assert_eq!(
+        value.get("code"),
+        Some(&Value::Str("unsupported_version".into()))
+    );
+    assert_eq!(value.get("id").and_then(Value::as_u64), Some(5));
+
+    // Unknown session maps to its stable status through the transport.
+    let (status, code, _) = client.api(&Request::Rerank { session: 999 });
+    assert_eq!((status, code.as_str()), (404, "unknown_session"));
+
+    // Unknown routes 404 without breaking the connection.
+    let (status, _) = client.http("GET", "/nope", "");
+    assert_eq!(status, 404);
+    let (status, _) = client.http("POST", "/api", "\"Stats\"");
+    assert_eq!(status, 200, "connection survives the 404");
+}
+
+/// `GET /metrics` serves the Prometheus page, including the per-shard
+/// serving-plane instruments and the transport counters.
+#[test]
+fn metrics_route_exposes_shard_and_transport_instruments() {
+    let server = sharded_server();
+    let mut client = Client::connect(server.addr());
+
+    // Drive one search-bearing request so shard histograms have samples.
+    let (session, _) = {
+        let mut via_net = |req: Request| client.ok(&req);
+        open(&mut via_net, 7)
+    };
+    client.ok(&Request::Close { session });
+
+    let (status, page) = client.http("GET", "/metrics", "");
+    assert_eq!(status, 200);
+    for needle in [
+        "# TYPE shard0_search_ns histogram",
+        "# TYPE shard2_search_ns histogram",
+        "# TYPE shard_jobs_total counter",
+        "# TYPE shard_queue_depth gauge",
+        "# TYPE net_requests_total counter",
+        "# TYPE net_connections_total counter",
+        "request_latency_ns_count",
+    ] {
+        assert!(page.contains(needle), "missing {needle:?} in:\n{page}");
+    }
+    // Opening a session searched every shard exactly once.
+    for shard in 0..N_SHARDS {
+        let count_line = page
+            .lines()
+            .find(|l| l.starts_with(&format!("shard{shard}_search_ns_count")))
+            .unwrap_or_else(|| panic!("no count sample for shard {shard}"));
+        let count: u64 = count_line
+            .rsplit(' ')
+            .next()
+            .and_then(|v| v.parse().ok())
+            .expect("numeric count");
+        assert!(count >= 1, "shard {shard} recorded no searches");
+    }
+}

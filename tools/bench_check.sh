@@ -26,6 +26,13 @@
 # silent loss of the metrics endpoint would otherwise look like a green
 # run).
 #
+# The load_gen example additionally boots the sharded NetServer on an
+# ephemeral port and drives it over real TCP with Zipfian clients; its
+# `service_latency/load_gen/<stage>/<pN>` client-side percentiles join
+# BENCH_latency.json, and their presence is enforced separately — a
+# transport that stopped answering would otherwise vanish silently from
+# the latency report.
+#
 # On a single-core machine the parallel paths fall back to (or degenerate
 # into) the serial ones, so the gate only *reports* there — the comparison
 # is enforced when `nproc > 1` (the CI bench job). The training-path
@@ -66,6 +73,7 @@ BENCH_QUICK=1 cargo bench -p lrf-bench --bench service_throughput | tee -a "$RAW
 BENCH_QUICK=1 cargo bench -p lrf-bench --bench svm_train | tee -a "$RAW"
 BENCH_QUICK=1 cargo bench -p lrf-bench --bench obs_overhead | tee -a "$RAW"
 BENCH_QUICK=1 cargo bench -p lrf-bench --bench wal_flush | tee -a "$RAW"
+BENCH_QUICK=1 cargo run --release --example load_gen | tee -a "$RAW"
 
 # Lines look like:  bench svm_score/nsv8/serial/2000   344,467 ns/iter
 # The harness prints "123.4" below 1e3, comma-grouped integers below 1e9,
@@ -182,6 +190,13 @@ check_overhead "wal_flush/durability_tax" "wal_flush/volatile" "wal_flush/durabl
 lat_entries="$(parse | awk '$1 ~ /^service_latency\// {
     printf "%s    { \"name\": \"%s\", \"ns\": %s }", (n++ ? ",\n" : ""), $1, $2
 }')"
+# The networked tier reports separately: client-side percentiles measured
+# over real TCP against the sharded server must be present.
+if ! parse | awk '$1 ~ /^service_latency\/load_gen\// { found = 1 } END { exit !found }'; then
+    echo "bench_check: FAIL service_latency/load_gen: no TCP client percentile lines in bench output"
+    fail=1
+fi
+
 if [ -z "$lat_entries" ]; then
     echo "bench_check: FAIL service_latency: no percentile lines in bench output"
     fail=1
